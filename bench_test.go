@@ -1,0 +1,452 @@
+package mmfs
+
+// bench_test.go regenerates every quantitative artifact of Rangan &
+// Vin (SOSP '91) as a benchmark — one benchmark per experiment ID of
+// DESIGN.md §4 — plus micro-benchmarks of the hot paths (disk model,
+// allocator, admission math, index lookups, block retrieval, plan
+// compilation, wire codec). Experiment benchmarks report headline
+// numbers via b.ReportMetric so `go test -bench=.` reproduces the
+// paper's tables' key values alongside the timing.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"mmfs/internal/alloc"
+	"mmfs/internal/continuity"
+	"mmfs/internal/core"
+	"mmfs/internal/disk"
+	"mmfs/internal/experiments"
+	"mmfs/internal/layout"
+	"mmfs/internal/media"
+	"mmfs/internal/msm"
+	"mmfs/internal/rope"
+	"mmfs/internal/strand"
+	"mmfs/internal/wire"
+)
+
+// --- Experiment benchmarks: one per table/figure -------------------
+
+func cellFloat(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkFigure4KvsN regenerates Figure 4 (EXP-F4): the k-versus-n
+// curve of the admission control algorithm, analytic and simulated.
+func BenchmarkFigure4KvsN(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.F4()
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(float64(len(res.Rows)), "n_max")
+	b.ReportMetric(cellFloat(b, last[2]), "k_transient@n_max")
+	b.ReportMetric(cellFloat(b, last[3]), "k_simulated@n_max")
+}
+
+// BenchmarkSequentialContinuity regenerates Eq. 1's frontier (EXP-E1).
+func BenchmarkSequentialContinuity(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E1Sequential()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[0][3]), "max_lds_ms@q1")
+}
+
+// BenchmarkPipelinedContinuity regenerates Eq. 2's frontier (EXP-E2).
+func BenchmarkPipelinedContinuity(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E2Pipelined()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[0][3]), "max_lds_ms@q1")
+	b.ReportMetric(cellFloat(b, res.Rows[0][6]), "viol_past_bound@q1")
+}
+
+// BenchmarkConcurrentContinuity regenerates Eq. 3's frontier (EXP-E3).
+func BenchmarkConcurrentContinuity(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E3Concurrent()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[1][2]), "max_lds_ms@p2q3")
+}
+
+// BenchmarkMixedMedia regenerates Eqs. 4–6 (EXP-E46).
+func BenchmarkMixedMedia(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E46MixedMedia()
+	}
+	b.ReportMetric(float64(len(res.Rows)), "layout_rows")
+}
+
+// BenchmarkNMax regenerates Eq. 17 (EXP-N17).
+func BenchmarkNMax(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NMax()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[1][4]), "n_max_default")
+}
+
+// BenchmarkTransition regenerates the Eq. 18 transition contrast
+// (EXP-TR).
+func BenchmarkTransition(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Transition()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[0][4]), "viol_stepwise")
+	b.ReportMetric(cellFloat(b, res.Rows[1][4]), "viol_naive")
+}
+
+// BenchmarkEditCopy regenerates Eqs. 19–20 (EXP-ED).
+func BenchmarkEditCopy(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.EditCopy()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[0][3]), "copied_sparse_fwd")
+}
+
+// BenchmarkReadAhead regenerates the §3.3.2 provisioning sweep
+// (EXP-RA).
+func BenchmarkReadAhead(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.ReadAhead()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[0][4]), "viol_underprovisioned")
+	b.ReportMetric(cellFloat(b, res.Rows[len(res.Rows)-1][4]), "viol_provisioned")
+}
+
+// BenchmarkSilence regenerates §4's silence elimination (EXP-SIL).
+func BenchmarkSilence(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Silence()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[len(res.Rows)-1][5]), "saved_pct@80")
+}
+
+// BenchmarkHDTVMotivation regenerates §3's motivating arithmetic
+// (EXP-HDTV).
+func BenchmarkHDTVMotivation(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.HDTV()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[0][2]), "random_gbps")
+	b.ReportMetric(cellFloat(b, res.Rows[2][2]), "constrained_gbps")
+}
+
+// BenchmarkFastForward regenerates §3.3.2's fast-forward analysis
+// (EXP-FF).
+func BenchmarkFastForward(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.FastForward()
+	}
+	b.ReportMetric(float64(len(res.Rows)), "speed_rows")
+}
+
+// --- Micro-benchmarks: hot paths -----------------------------------
+
+// BenchmarkDiskAccessModel measures the seek/latency/transfer
+// computation at the heart of every timed access.
+func BenchmarkDiskAccessModel(b *testing.B) {
+	d := disk.MustNew(disk.DefaultGeometry())
+	spc := d.Geometry().SectorsPerCylinder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.PeekServiceTime(0, (i%1000)*spc, 9)
+	}
+}
+
+// BenchmarkTimedBlockRead measures the full timed read path, the inner
+// loop of every service round.
+func BenchmarkTimedBlockRead(b *testing.B) {
+	d := disk.MustNew(disk.DefaultGeometry())
+	payload := make([]byte, 9*2048)
+	spc := d.Geometry().SectorsPerCylinder()
+	for c := 0; c < 64; c++ {
+		if err := d.WriteAt(c*16*spc, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Read(0, (i%64)*16*spc, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConstrainedAllocation measures constrained placement plus
+// free, the write path's allocation cost.
+func BenchmarkConstrainedAllocation(b *testing.B) {
+	g := disk.DefaultGeometry()
+	a, err := alloc.New(g, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, err := a.AllocateNearCylinder(600, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := alloc.Constraint{MinCylinders: 1, MaxCylinders: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := a.AllocateConstrained(prev, 9, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Free(run)
+	}
+}
+
+// BenchmarkAdmissionControl measures the α/β/γ + k computation run on
+// every admission decision.
+func BenchmarkAdmissionControl(b *testing.B) {
+	g := disk.DefaultGeometry()
+	adm := continuity.Admission{
+		MaxAccess:    continuity.Seconds(g.MaxAccessTime()),
+		TransferRate: g.TransferRateBits(),
+	}
+	m := continuity.NTSCVideo()
+	reqs := make([]continuity.Request, 4)
+	for i := range reqs {
+		reqs[i] = continuity.Request{Granularity: 3, UnitBits: m.UnitBits, Rate: m.Rate, Scattering: 0.011}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := adm.KTransient(reqs); !ok {
+			b.Fatal("unserviceable")
+		}
+	}
+}
+
+// BenchmarkIndexBuildLoad measures the 3-level index round trip for a
+// 1000-block strand.
+func BenchmarkIndexBuildLoad(b *testing.B) {
+	d := disk.MustNew(disk.DefaultGeometry())
+	entries := make([]layout.PrimaryEntry, 1000)
+	for i := range entries {
+		entries[i] = layout.PrimaryEntry{Sector: uint32(10000 + i*16), SectorCount: 9}
+	}
+	h := layout.Header{StrandID: 1, Medium: layout.Video, RateMilli: 30000, UnitBits: 144000, Granularity: 3, UnitCount: 3000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := 1000
+		ix, err := layout.BuildIndex(h, entries, 2048, func(n int) (int, error) {
+			lba := next
+			next += n
+			return lba, nil
+		}, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := layout.LoadIndex(d, int(ix.HeaderRun.Sector), int(ix.HeaderRun.SectorCount), 2048); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFS builds a small file system with one recorded AV rope.
+func benchFS(b *testing.B) (*core.FS, *rope.Rope) {
+	b.Helper()
+	fs, err := core.Format(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := fs.Record(core.RecordSpec{
+		Creator: "bench",
+		Video:   media.NewVideoSource(300, 18000, 30, 1),
+		Audio:   media.NewAudioSource(100, 800, 10, 0.3, 20, 2),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs.Manager().RunUntilDone()
+	r, err := sess.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs, r
+}
+
+// BenchmarkRopePlanCompile measures compiling a rope into an MSM
+// playback plan.
+func BenchmarkRopePlanCompile(b *testing.B) {
+	fs, r := benchFS(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Ropes().CompilePlay(fs.Disk(), r, rope.VideoOnly, 0, r.Length(), msm.PlanOptions{ReadAhead: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaybackRound measures one full 10-second playback
+// simulation (admission + service rounds + deadline accounting).
+func BenchmarkPlaybackRound(b *testing.B) {
+	fs, r := benchFS(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr := fs.NewManager()
+		plan, err := fs.Ropes().CompilePlay(fs.Disk(), r, rope.VideoOnly, 0, r.Length(), msm.PlanOptions{ReadAhead: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, _, err := mgr.AdmitPlay(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr.RunUntilDone()
+		if v, _ := mgr.Violations(id); len(v) != 0 {
+			b.Fatal("violations in benchmark playback")
+		}
+	}
+}
+
+// BenchmarkEditInsert measures the INSERT operation including
+// scattering maintenance and GC.
+func BenchmarkEditInsert(b *testing.B) {
+	fs, r1 := benchFS(b)
+	sess, err := fs.Record(core.RecordSpec{
+		Creator: "bench",
+		Video:   media.NewVideoSource(60, 18000, 30, 3),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs.Manager().RunUntilDone()
+	r2, err := sess.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Insert("bench", r1.ID, 0, rope.VideoOnly, r2.ID, 0, r2.Length()); err != nil {
+			b.Fatal(err)
+		}
+		// Undo so the rope stays the same size across iterations.
+		if _, err := fs.DeleteRange("bench", r1.ID, rope.AudioVisual, 0, r2.Length()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStrandWrite measures the recording write path (allocation +
+// timed write) per media block.
+func BenchmarkStrandWrite(b *testing.B) {
+	g := disk.DefaultGeometry()
+	d := disk.MustNew(g)
+	a, err := alloc.New(g, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := strand.NewStore(d, a)
+	payload := media.FramePayload(1, 0, 18000)
+	b.SetBytes(18000)
+	b.ResetTimer()
+	i := 0
+	for i < b.N {
+		w, err := strand.NewWriter(d, a, strand.WriterConfig{
+			ID: st.NewID(), Medium: layout.Video, Rate: 30, UnitBytes: 18000, Granularity: 1,
+			Constraint:    alloc.Constraint{MinCylinders: 1, MaxCylinders: 32},
+			StartCylinder: (i * 131) % g.Cylinders,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 256 && i < b.N; j++ {
+			if _, err := w.Append(media.Unit{Seq: uint64(j), Payload: payload}); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+		w.Abort() // release space so the disk never fills
+	}
+}
+
+// BenchmarkWireCodec measures request encode + decode for a PLAY call.
+func BenchmarkWireCodec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := wire.NewEncoder().Str("user").U64(7).U16(1).I64(0).I64(5e9).U32(2)
+		body := wire.Request(wire.OpPlay, e.Bytes())
+		op, payload, err := wire.ParseRequest(body)
+		if err != nil || op != wire.OpPlay {
+			b.Fatal("parse")
+		}
+		d := wire.NewDecoder(payload)
+		_ = d.Str()
+		_ = d.U64()
+		_ = d.U16()
+		_ = d.I64()
+		_ = d.I64()
+		_ = d.U32()
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}
+
+// BenchmarkVBRCompression regenerates the §6.2 variable-rate
+// compression extension (EXP-VBR).
+func BenchmarkVBRCompression(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.VBR()
+	}
+	for _, row := range res.Rows {
+		if row[0] == "storage gain" {
+			b.ReportMetric(cellFloat(b, strings.TrimSuffix(row[2], "×")), "storage_gain_x")
+		}
+	}
+}
+
+// BenchmarkScanOrdering regenerates the §6.2 seek-ordered servicing
+// ablation (EXP-SCAN).
+func BenchmarkScanOrdering(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Scan()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[0][3]), "seek_ms_zigzag")
+	b.ReportMetric(cellFloat(b, res.Rows[2][3]), "seek_ms_cscan")
+}
+
+// BenchmarkReorganization regenerates the §6.2 storage reorganization
+// scenario (EXP-REORG).
+func BenchmarkReorganization(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Reorg()
+	}
+	b.ReportMetric(cellFloat(b, res.Rows[0][3]), "blocks_before")
+	b.ReportMetric(cellFloat(b, res.Rows[1][3]), "blocks_after")
+}
+
+// BenchmarkIntegrityCheck measures the full fsck pass over a populated
+// file system.
+func BenchmarkIntegrityCheck(b *testing.B) {
+	fs, _ := benchFS(b)
+	if err := fs.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if problems := fs.Check(); len(problems) != 0 {
+			b.Fatalf("fsck: %v", problems)
+		}
+	}
+}

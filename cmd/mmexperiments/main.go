@@ -1,0 +1,45 @@
+// Command mmexperiments regenerates the paper's quantitative artifacts
+// (Figure 4, the continuity equations' frontiers, Eq. 17's n_max, the
+// Eq. 18 transition, the Eq. 19/20 editing copy bounds, read-ahead,
+// silence elimination, fast-forward, and the HDTV motivating
+// arithmetic) and prints each as a table with paper-vs-measured notes.
+//
+// Usage:
+//
+//	mmexperiments            # run everything
+//	mmexperiments -exp f4    # run one experiment
+//	mmexperiments -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmfs/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment (f4, e1, e2, e3, e46, nmax, trans, edit, ra, sil, hdtv, ff, vbr, scan, reorg)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg"} {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp != "" {
+		run, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mmexperiments: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		experiments.Render(os.Stdout, run())
+		return
+	}
+	for _, r := range experiments.All() {
+		experiments.Render(os.Stdout, r)
+	}
+}

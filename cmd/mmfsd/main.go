@@ -1,0 +1,69 @@
+// Command mmfsd is the Multimedia Rope Server daemon: it formats (or
+// reuses) a simulated multimedia disk and serves the rope protocol
+// over TCP, playing the role of the paper's SPARCstation MRS fronting
+// the PC-AT storage manager (§5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mmfs/internal/core"
+	"mmfs/internal/disk"
+	"mmfs/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		cylinders = flag.Int("cylinders", 1200, "disk cylinders")
+		surfaces  = flag.Int("surfaces", 8, "disk surfaces per cylinder")
+		sectors   = flag.Int("sectors", 56, "sectors per track")
+		rpm       = flag.Float64("rpm", 3600, "spindle speed")
+		heads     = flag.Int("heads", 1, "independent head assemblies (degree of concurrency)")
+		target    = flag.Int("target-cylinders", 32, "placement policy: max cylinders between successive strand blocks")
+	)
+	flag.Parse()
+
+	g := disk.Geometry{
+		Cylinders:       *cylinders,
+		Surfaces:        *surfaces,
+		SectorsPerTrack: *sectors,
+		SectorSize:      2048,
+		RPM:             *rpm,
+		MinSeek:         2 * time.Millisecond,
+		MaxSeek:         30 * time.Millisecond,
+		Heads:           *heads,
+	}
+	fs, err := core.Format(core.Options{Geometry: g, TargetCylinders: *target})
+	if err != nil {
+		log.Fatalf("mmfsd: format: %v", err)
+	}
+	dev := fs.Device()
+	fmt.Printf("mmfsd: %d MB disk, r_dt %.1f Mbit/s, l_max_seek %.1f ms, placement ≤ %d cylinders\n",
+		g.CapacityBytes()>>20, dev.TransferRate/1e6, dev.MaxAccess*1000, *target)
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mmfsd: listen: %v", err)
+	}
+	fmt.Printf("mmfsd: serving on %s\n", lis.Addr())
+
+	srv := server.New(fs)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nmmfsd: shutting down")
+		_ = srv.Close()
+	}()
+	if err := srv.Serve(lis); err != nil {
+		log.Fatalf("mmfsd: serve: %v", err)
+	}
+}

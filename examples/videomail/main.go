@@ -1,0 +1,125 @@
+// Videomail: the paper's motivating "video and audio mail" service
+// (§1.1) over the client/server split of §5 — an MRS daemon on
+// loopback TCP, clients using the rope stub library.
+//
+// Alice records a video-only message and a separate audio narration,
+// merges them with the paper's REPLACE idiom ("replaces the
+// non-existent video component of Rope4 with the video component of
+// Rope5"), grants Bob access, and Bob plays the merged mail and saves
+// an attached text note — all through the network protocol.
+//
+// Run with: go run ./examples/videomail
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"mmfs/internal/client"
+	"mmfs/internal/core"
+	"mmfs/internal/media"
+	"mmfs/internal/rope"
+	"mmfs/internal/server"
+)
+
+func main() {
+	// Bring up the MRS daemon on loopback.
+	fs, err := core.Format(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(fs)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(lis) }()
+	defer srv.Close()
+	fmt.Printf("MRS serving on %s\n", lis.Addr())
+
+	alice, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+
+	// Alice records her 4-second video message (camera only)…
+	const seconds = 4
+	videoMail, _, err := alice.RecordClip("alice",
+		media.NewVideoSource(30*seconds, 18000, 30, 11), nil, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// …then a separate narration track (microphone only), as the
+	// paper's merge example assumes: "video and audio strands
+	// recorded separately".
+	narration, _, err := alice.RecordClip("alice",
+		nil, media.NewAudioSource(10*seconds, 800, 10, 0.35, 15, 12), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice recorded video rope %d and narration rope %d\n", videoMail, narration)
+
+	// Merge: REPLACE the (non-existent) audio component of the video
+	// rope with the narration's audio, generating block-level
+	// correspondence between the strands.
+	dur := time.Duration(seconds) * time.Second
+	if _, err := alice.Replace("alice", videoMail, rope.AudioOnly, 0, dur, narration, 0, dur); err != nil {
+		log.Fatal(err)
+	}
+	info, err := alice.Info(videoMail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged mail rope %d: video=%v audio=%v, %v\n",
+		videoMail, info.HasVideo, info.HasAudio, info.Length)
+
+	// Attach a text note (stored in the gaps between media blocks)
+	// and grant Bob playback access.
+	if err := alice.TextWrite("mail-1.txt", []byte("Hi Bob — demo of the new file system! — Alice")); err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.SetAccess("alice", videoMail, []string{"bob"}, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// The narration rope is no longer needed on its own; deleting it
+	// must NOT reclaim the audio strand, which the mail now shares.
+	if n, err := alice.DeleteRope("alice", narration); err != nil {
+		log.Fatal(err)
+	} else if n != 0 {
+		log.Fatalf("GC reclaimed %d shared strand(s)!", n)
+	}
+	fmt.Println("narration rope deleted; shared audio strand survives (interests GC)")
+
+	// Bob reads his mail.
+	bob, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+	res, err := bob.Play("bob", videoMail, rope.AudioVisual, 0, 0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob played the mail: %d blocks, %d continuity violation(s)\n", res.Blocks, res.Violations)
+	note, err := bob.TextRead("mail-1.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob's note: %s\n", note)
+
+	// Mallory, however, is not on the access list.
+	mallory, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mallory.Close()
+	if _, err := mallory.Play("mallory", videoMail, rope.AudioVisual, 0, 0, 2); err != nil {
+		fmt.Printf("mallory denied: %v\n", err)
+	} else {
+		log.Fatal("access control failed")
+	}
+}

@@ -1,0 +1,3 @@
+module mmfs
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package alloc implements constrained block allocation (§3 of Rangan
+// & Vin): media blocks of a strand are placed so that the access time
+// between successive blocks stays within the strand's scattering
+// bounds, while the gaps between them remain available for other
+// strands and for conventional text files ("a common file server can …
+// integrate the functions of both a conventional text file server and
+// a multimedia file server by … using the gaps between successive
+// blocks of a media strand to store text files").
+package alloc
+
+import "fmt"
+
+// bitmap tracks sector occupancy; a set bit means allocated.
+type bitmap struct {
+	words []uint64
+	n     int // number of valid bits
+	used  int // number of set bits
+}
+
+func newBitmap(n int) *bitmap {
+	return &bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b *bitmap) get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *bitmap) set(i int) {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.used++
+	}
+}
+
+func (b *bitmap) clear(i int) {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if b.words[w]&m != 0 {
+		b.words[w] &^= m
+		b.used--
+	}
+}
+
+// setRange marks [lo, lo+n) allocated; it panics if any bit is already
+// set, catching double allocation early.
+func (b *bitmap) setRange(lo, n int) {
+	for i := lo; i < lo+n; i++ {
+		if b.get(i) {
+			panic(fmt.Sprintf("alloc: double allocation of sector %d", i))
+		}
+		b.set(i)
+	}
+}
+
+// clearRange marks [lo, lo+n) free; freeing a free sector panics,
+// catching double frees.
+func (b *bitmap) clearRange(lo, n int) {
+	for i := lo; i < lo+n; i++ {
+		if !b.get(i) {
+			panic(fmt.Sprintf("alloc: double free of sector %d", i))
+		}
+		b.clear(i)
+	}
+}
+
+// freeRunAt reports whether [lo, lo+n) is entirely free and in range.
+func (b *bitmap) freeRunAt(lo, n int) bool {
+	if lo < 0 || lo+n > b.n {
+		return false
+	}
+	for i := lo; i < lo+n; i++ {
+		if b.get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// findRun returns the first index of a free run of length n within
+// [lo, hi), or -1.
+func (b *bitmap) findRun(lo, hi, n int) int {
+	if hi > b.n {
+		hi = b.n
+	}
+	run := 0
+	for i := lo; i < hi; i++ {
+		if b.get(i) {
+			run = 0
+			continue
+		}
+		run++
+		if run == n {
+			return i - n + 1
+		}
+	}
+	return -1
+}
+
+// marshal serializes the bitmap's words as little-endian bytes.
+func (b *bitmap) marshal() []byte {
+	out := make([]byte, len(b.words)*8)
+	for i, w := range b.words {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return out
+}
+
+// unmarshal restores the bitmap from marshal's output, recounting the
+// used bits.
+func (b *bitmap) unmarshal(data []byte) error {
+	if len(data) < len(b.words)*8 {
+		return fmt.Errorf("alloc: bitmap data %d bytes, need %d", len(data), len(b.words)*8)
+	}
+	b.used = 0
+	for i := range b.words {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w |= uint64(data[i*8+j]) << (8 * j)
+		}
+		b.words[i] = w
+	}
+	for i := 0; i < b.n; i++ {
+		if b.get(i) {
+			b.used++
+		}
+	}
+	return nil
+}

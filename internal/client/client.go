@@ -1,0 +1,472 @@
+// Package client is the rope stub library of the paper's prototype:
+// "applications are compiled with a rope stub library which uses
+// remote procedure calls to contact the MRS" (§5.2). Every method maps
+// one-to-one onto a wire operation.
+package client
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"mmfs/internal/media"
+	"mmfs/internal/rope"
+	"mmfs/internal/wire"
+)
+
+// Client is a connection to an MRS server. Safe for concurrent use;
+// requests are serialized on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to an MRS server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewFromConn wraps an existing connection (tests use net.Pipe).
+func NewFromConn(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one RPC round trip.
+func (c *Client) call(op wire.Op, body []byte) (*wire.Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.conn, wire.Request(op, body)); err != nil {
+		return nil, err
+	}
+	frame, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.ParseResponse(frame)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewDecoder(resp), nil
+}
+
+// mediumCode converts a rope selector to its wire encoding.
+func mediumCode(m rope.Medium) uint16 {
+	switch m {
+	case rope.VideoOnly:
+		return 1
+	case rope.AudioOnly:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// RecordSession is an in-progress remote RECORD.
+type RecordSession struct {
+	c  *Client
+	id uint64
+}
+
+// MediumSpec describes one recorded medium.
+type MediumSpec struct {
+	// UnitBytes is the unit size in bytes.
+	UnitBytes int
+	// Rate is the capture rate in units/second.
+	Rate float64
+}
+
+// RecordStart begins a remote RECORD; pass nil for an absent medium.
+func (c *Client) RecordStart(creator string, video, audio *MediumSpec, silenceElimination bool) (*RecordSession, error) {
+	return c.recordStart(creator, video, audio, silenceElimination, false)
+}
+
+// RecordStartHeterogeneous begins a remote RECORD using §3.3.3's
+// heterogeneous-block storage: both media land in one strand of
+// composite units.
+func (c *Client) RecordStartHeterogeneous(creator string, video, audio *MediumSpec) (*RecordSession, error) {
+	return c.recordStart(creator, video, audio, false, true)
+}
+
+func (c *Client) recordStart(creator string, video, audio *MediumSpec, silenceElimination, hetero bool) (*RecordSession, error) {
+	e := wire.NewEncoder().Str(creator)
+	if video != nil {
+		e.Bool(true).U32(uint32(video.UnitBytes)).F64(video.Rate)
+	} else {
+		e.Bool(false).U32(0).F64(0)
+	}
+	if audio != nil {
+		e.Bool(true).U32(uint32(audio.UnitBytes)).F64(audio.Rate)
+	} else {
+		e.Bool(false).U32(0).F64(0)
+	}
+	e.Bool(silenceElimination)
+	e.Bool(hetero)
+	d, err := c.call(wire.OpRecordStart, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	id := d.U64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return &RecordSession{c: c, id: id}, nil
+}
+
+// Append uploads captured units for one medium (VideoOnly or
+// AudioOnly).
+func (s *RecordSession) Append(m rope.Medium, units [][]byte) error {
+	const batch = 64
+	for len(units) > 0 {
+		n := len(units)
+		if n > batch {
+			n = batch
+		}
+		e := wire.NewEncoder().U64(s.id).U16(mediumCode(m)).U32(uint32(n))
+		for _, u := range units[:n] {
+			e.Blob(u)
+		}
+		if _, err := s.c.call(wire.OpRecordAppend, e.Bytes()); err != nil {
+			return err
+		}
+		units = units[n:]
+	}
+	return nil
+}
+
+// Finish completes the RECORD, returning the new rope's ID and length.
+func (s *RecordSession) Finish() (rope.ID, time.Duration, error) {
+	d, err := s.c.call(wire.OpRecordFinish, wire.NewEncoder().U64(s.id).Bytes())
+	if err != nil {
+		return 0, 0, err
+	}
+	id := rope.ID(d.U64())
+	length := time.Duration(d.I64())
+	return id, length, d.Err()
+}
+
+// RecordClip uploads and records a whole clip from in-memory sources
+// in one call; a convenience for examples and tests.
+func (c *Client) RecordClip(creator string, video, audio media.Source, silenceElimination bool) (rope.ID, time.Duration, error) {
+	var vSpec, aSpec *MediumSpec
+	if video != nil {
+		vSpec = &MediumSpec{UnitBytes: video.UnitBytes(), Rate: video.Rate()}
+	}
+	if audio != nil {
+		aSpec = &MediumSpec{UnitBytes: audio.UnitBytes(), Rate: audio.Rate()}
+	}
+	sess, err := c.RecordStart(creator, vSpec, aSpec, silenceElimination)
+	if err != nil {
+		return 0, 0, err
+	}
+	drain := func(m rope.Medium, src media.Source) error {
+		var units [][]byte
+		for {
+			u, ok := src.Next()
+			if !ok {
+				break
+			}
+			units = append(units, u.Payload)
+		}
+		return sess.Append(m, units)
+	}
+	if video != nil {
+		if err := drain(rope.VideoOnly, video); err != nil {
+			return 0, 0, err
+		}
+	}
+	if audio != nil {
+		if err := drain(rope.AudioOnly, audio); err != nil {
+			return 0, 0, err
+		}
+	}
+	return sess.Finish()
+}
+
+// PlayResult summarizes a remote playback run.
+type PlayResult struct {
+	// Violations is the number of continuity violations observed.
+	Violations int
+	// Blocks is the number of media blocks retrieved.
+	Blocks int
+	// Startup is the virtual time at which display began.
+	Startup time.Duration
+}
+
+// Play runs a remote PLAY to completion and returns its continuity
+// statistics.
+func (c *Client) Play(user string, id rope.ID, m rope.Medium, start, dur time.Duration, readAhead int) (PlayResult, error) {
+	e := wire.NewEncoder().Str(user).U64(uint64(id)).U16(mediumCode(m)).I64(int64(start)).I64(int64(dur)).U32(uint32(readAhead))
+	d, err := c.call(wire.OpPlay, e.Bytes())
+	if err != nil {
+		return PlayResult{}, err
+	}
+	res := PlayResult{
+		Violations: int(d.U32()),
+		Blocks:     int(d.U32()),
+		Startup:    time.Duration(d.I64()),
+	}
+	return res, d.Err()
+}
+
+// Fetch retrieves one medium's unit payloads for an interval.
+func (c *Client) Fetch(user string, id rope.ID, m rope.Medium, start, dur time.Duration) ([][]byte, error) {
+	e := wire.NewEncoder().Str(user).U64(uint64(id)).U16(mediumCode(m)).I64(int64(start)).I64(int64(dur))
+	d, err := c.call(wire.OpFetch, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.U32()
+	out := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, d.Blob())
+	}
+	return out, d.Err()
+}
+
+// Insert performs a remote INSERT, returning the number of blocks the
+// scattering-maintenance algorithm copied.
+func (c *Client) Insert(user string, base rope.ID, pos time.Duration, m rope.Medium, with rope.ID, withStart, withDur time.Duration) (int, error) {
+	e := wire.NewEncoder().Str(user).U64(uint64(base)).I64(int64(pos)).U16(mediumCode(m)).
+		U64(uint64(with)).I64(int64(withStart)).I64(int64(withDur))
+	d, err := c.call(wire.OpInsert, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	copied := int(d.U32())
+	return copied, d.Err()
+}
+
+// Replace performs a remote REPLACE.
+func (c *Client) Replace(user string, base rope.ID, m rope.Medium, baseStart, baseDur time.Duration, with rope.ID, withStart, withDur time.Duration) (int, error) {
+	e := wire.NewEncoder().Str(user).U64(uint64(base)).U16(mediumCode(m)).
+		I64(int64(baseStart)).I64(int64(baseDur)).
+		U64(uint64(with)).I64(int64(withStart)).I64(int64(withDur))
+	d, err := c.call(wire.OpReplace, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	copied := int(d.U32())
+	return copied, d.Err()
+}
+
+// Substring performs a remote SUBSTRING, returning the new rope ID.
+func (c *Client) Substring(user string, base rope.ID, m rope.Medium, start, dur time.Duration) (rope.ID, error) {
+	e := wire.NewEncoder().Str(user).U64(uint64(base)).U16(mediumCode(m)).I64(int64(start)).I64(int64(dur))
+	d, err := c.call(wire.OpSubstring, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	id := rope.ID(d.U64())
+	return id, d.Err()
+}
+
+// Concate performs a remote CONCATE, returning the new rope ID and the
+// blocks copied at the junction.
+func (c *Client) Concate(user string, r1, r2 rope.ID) (rope.ID, int, error) {
+	e := wire.NewEncoder().Str(user).U64(uint64(r1)).U64(uint64(r2))
+	d, err := c.call(wire.OpConcate, e.Bytes())
+	if err != nil {
+		return 0, 0, err
+	}
+	id := rope.ID(d.U64())
+	copied := int(d.U32())
+	return id, copied, d.Err()
+}
+
+// DeleteRange performs a remote DELETE of a media interval.
+func (c *Client) DeleteRange(user string, base rope.ID, m rope.Medium, start, dur time.Duration) (int, error) {
+	e := wire.NewEncoder().Str(user).U64(uint64(base)).U16(mediumCode(m)).I64(int64(start)).I64(int64(dur))
+	d, err := c.call(wire.OpDeleteRange, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	copied := int(d.U32())
+	return copied, d.Err()
+}
+
+// DeleteRope removes a rope, returning how many strands were
+// reclaimed.
+func (c *Client) DeleteRope(user string, id rope.ID) (int, error) {
+	e := wire.NewEncoder().Str(user).U64(uint64(id))
+	d, err := c.call(wire.OpDeleteRope, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	n := int(d.U32())
+	return n, d.Err()
+}
+
+// RopeInfo describes a stored rope.
+type RopeInfo struct {
+	Creator   string
+	Length    time.Duration
+	Intervals int
+	HasVideo  bool
+	HasAudio  bool
+	Strands   int
+}
+
+// Info fetches a rope's summary.
+func (c *Client) Info(id rope.ID) (RopeInfo, error) {
+	d, err := c.call(wire.OpRopeInfo, wire.NewEncoder().U64(uint64(id)).Bytes())
+	if err != nil {
+		return RopeInfo{}, err
+	}
+	info := RopeInfo{
+		Creator:   d.Str(),
+		Length:    time.Duration(d.I64()),
+		Intervals: int(d.U32()),
+		HasVideo:  d.Bool(),
+		HasAudio:  d.Bool(),
+		Strands:   int(d.U32()),
+	}
+	return info, d.Err()
+}
+
+// ListRopes lists stored rope IDs.
+func (c *Client) ListRopes() ([]rope.ID, error) {
+	d, err := c.call(wire.OpListRopes, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := d.U32()
+	out := make([]rope.ID, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, rope.ID(d.U64()))
+	}
+	return out, d.Err()
+}
+
+// ServerStats summarizes the file system behind the server.
+type ServerStats struct {
+	Occupancy      float64
+	Strands        int
+	Ropes          int
+	Rounds         uint64
+	K              int
+	ActiveRequests int
+}
+
+// Stats fetches server statistics.
+func (c *Client) Stats() (ServerStats, error) {
+	d, err := c.call(wire.OpStats, nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	st := ServerStats{
+		Occupancy:      d.F64(),
+		Strands:        int(d.U32()),
+		Ropes:          int(d.U32()),
+		Rounds:         d.U64(),
+		K:              int(d.U32()),
+		ActiveRequests: int(d.U32()),
+	}
+	return st, d.Err()
+}
+
+// SetAccess replaces a rope's play and edit access lists; only the
+// creator may call it. Empty lists mean open access.
+func (c *Client) SetAccess(user string, id rope.ID, play, edit []string) error {
+	e := wire.NewEncoder().Str(user).U64(uint64(id)).U32(uint32(len(play)))
+	for _, p := range play {
+		e.Str(p)
+	}
+	e.U32(uint32(len(edit)))
+	for _, p := range edit {
+		e.Str(p)
+	}
+	_, err := c.call(wire.OpSetAccess, e.Bytes())
+	return err
+}
+
+// AddTrigger attaches synchronized text at an offset of a rope
+// (Figure 8's trigger information).
+func (c *Client) AddTrigger(user string, id rope.ID, at time.Duration, text string) error {
+	e := wire.NewEncoder().Str(user).U64(uint64(id)).I64(int64(at)).Str(text)
+	_, err := c.call(wire.OpAddTrigger, e.Bytes())
+	return err
+}
+
+// TriggerAt is a resolved synchronized-text trigger.
+type TriggerAt struct {
+	At   time.Duration
+	Text string
+}
+
+// Triggers lists a rope's triggers with resolved rope-relative times.
+func (c *Client) Triggers(user string, id rope.ID) ([]TriggerAt, error) {
+	d, err := c.call(wire.OpTriggers, wire.NewEncoder().Str(user).U64(uint64(id)).Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.U32()
+	out := make([]TriggerAt, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, TriggerAt{At: time.Duration(d.I64()), Text: d.Str()})
+	}
+	return out, d.Err()
+}
+
+// Flatten merges an edited rope's media into fresh single strands
+// (§6.2's strand merging), returning how many old strands were
+// reclaimed.
+func (c *Client) Flatten(user string, id rope.ID) (int, error) {
+	d, err := c.call(wire.OpFlatten, wire.NewEncoder().Str(user).U64(uint64(id)).Bytes())
+	if err != nil {
+		return 0, err
+	}
+	n := int(d.U32())
+	return n, d.Err()
+}
+
+// Check runs the server-side integrity checker (fsck) and returns its
+// findings as "kind: detail" strings; empty means clean.
+func (c *Client) Check() ([]string, error) {
+	d, err := c.call(wire.OpCheck, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := d.U32()
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		kind := d.Str()
+		detail := d.Str()
+		out = append(out, kind+": "+detail)
+	}
+	return out, d.Err()
+}
+
+// TextWrite stores a conventional text file in the media gaps.
+func (c *Client) TextWrite(name string, data []byte) error {
+	_, err := c.call(wire.OpTextWrite, wire.NewEncoder().Str(name).Blob(data).Bytes())
+	return err
+}
+
+// TextRead fetches a text file.
+func (c *Client) TextRead(name string) ([]byte, error) {
+	d, err := c.call(wire.OpTextRead, wire.NewEncoder().Str(name).Bytes())
+	if err != nil {
+		return nil, err
+	}
+	data := d.Blob()
+	return data, d.Err()
+}
+
+// TextList lists text files.
+func (c *Client) TextList() ([]string, error) {
+	d, err := c.call(wire.OpTextList, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := d.U32()
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, d.Str())
+	}
+	return out, d.Err()
+}

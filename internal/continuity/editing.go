@@ -1,0 +1,106 @@
+package continuity
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements §4.2: maintenance of the scattering parameter
+// while editing. Editing operations make a rope a sequence of
+// intervals of immutable strands; within each interval the scattering
+// parameter is bounded, but the hop from the last block of one
+// interval to the first block of the next may exceed the bound. The
+// paper bounds the number of blocks that must be copied (into a fresh
+// strand, preserving immutability) to smooth such a junction:
+//
+//	sparse disk (Eq. 19):  C_b = l_max_seek / (2·l_lower)
+//	dense  disk (Eq. 20):  C_b = l_max_seek / l_lower
+//
+// where l_lower is the lower bound on the destination strand's
+// scattering parameter. The symmetric C_a redistributes the tail of
+// the preceding strand instead; the editor copies min(C_a, C_b).
+
+// Occupancy describes how full the disk region around a junction is,
+// selecting which copy bound applies.
+type Occupancy int
+
+const (
+	// SparseDisk means free space is plentiful near the junction, so
+	// redistributed blocks can be placed mid-gap (Eq. 19).
+	SparseDisk Occupancy = iota
+	// DenseDisk means the disk is nearly full and redistribution must
+	// reuse the strands' own slots (Eq. 20).
+	DenseDisk
+)
+
+// String names the occupancy regime.
+func (o Occupancy) String() string {
+	if o == SparseDisk {
+		return "sparse"
+	}
+	return "dense"
+}
+
+// CopyBound is the maximum number of blocks of the following strand
+// that must be copied to guarantee the junction's separation satisfies
+// the scattering bounds: Eq. 19 (sparse) or Eq. 20 (dense). lLower is
+// the lower bound on the strand's scattering parameter in seconds;
+// maxSeek is l_max_seek. A non-positive lLower would make the bound
+// meaningless, so it is an error.
+func CopyBound(occ Occupancy, maxSeek, lLower float64) (int, error) {
+	if lLower <= 0 {
+		return 0, fmt.Errorf("continuity: scattering lower bound %g must be positive for the editing copy bound", lLower)
+	}
+	if maxSeek < 0 {
+		return 0, fmt.Errorf("continuity: negative max seek %g", maxSeek)
+	}
+	m := maxSeek / lLower
+	var c float64
+	if occ == SparseDisk {
+		c = m / 2
+	} else {
+		c = m
+	}
+	n := int(math.Ceil(c))
+	if n < 0 {
+		n = 0
+	}
+	return n, nil
+}
+
+// JunctionCopyPlan chooses which side of an edit junction to
+// redistribute: the last C_a blocks of the preceding strand or the
+// first C_b blocks of the following strand — "in practice, the actual
+// number of blocks that needs to be copied is the minimum of C_a and
+// C_b" (§4.2).
+type JunctionCopyPlan struct {
+	// CopyPreceding is true when the tail of the preceding strand is
+	// the cheaper side to copy.
+	CopyPreceding bool
+	// Blocks is the number of blocks to copy, min(C_a, C_b).
+	Blocks int
+	// CA and CB are the per-side bounds.
+	CA, CB int
+}
+
+// PlanJunctionCopy computes the copy plan for a junction between a
+// preceding strand with scattering lower bound aLower and a following
+// strand with lower bound bLower, under the given occupancy.
+func PlanJunctionCopy(occ Occupancy, maxSeek, aLower, bLower float64) (JunctionCopyPlan, error) {
+	ca, err := CopyBound(occ, maxSeek, aLower)
+	if err != nil {
+		return JunctionCopyPlan{}, fmt.Errorf("preceding strand: %w", err)
+	}
+	cb, err := CopyBound(occ, maxSeek, bLower)
+	if err != nil {
+		return JunctionCopyPlan{}, fmt.Errorf("following strand: %w", err)
+	}
+	p := JunctionCopyPlan{CA: ca, CB: cb}
+	if ca < cb {
+		p.CopyPreceding = true
+		p.Blocks = ca
+	} else {
+		p.Blocks = cb
+	}
+	return p, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"mmfs/internal/rope"
+	"mmfs/internal/strand"
+)
+
+// Problem is one inconsistency found by Check.
+type Problem struct {
+	// Kind is a short category ("leak", "overlap", "unallocated",
+	// "dangling-ref", "interest", "range").
+	Kind string
+	// Detail describes the finding.
+	Detail string
+}
+
+// String renders the problem.
+func (p Problem) String() string { return fmt.Sprintf("%s: %s", p.Kind, p.Detail) }
+
+// Check is the file system's integrity checker (fsck): it verifies
+// that every reachable structure — superblock tables, strand media and
+// index blocks, text-file extents — is marked allocated, that no two
+// structures overlap, that the allocator tracks no unreachable
+// sectors, that every rope reference resolves to a registered strand
+// within range, and that the interests table matches the ropes. It is
+// read-only; callers decide what to do about findings.
+func (fs *FS) Check() []Problem {
+	var problems []Problem
+	total := fs.a.TotalSectors()
+	// owner[i] names the structure claiming sector i.
+	owner := make([]string, total)
+
+	claim := func(name string, lba, n int) {
+		if lba < 0 || n < 0 || lba+n > total {
+			problems = append(problems, Problem{Kind: "range",
+				Detail: fmt.Sprintf("%s claims sectors [%d,%d) outside the disk", name, lba, lba+n)})
+			return
+		}
+		for i := lba; i < lba+n; i++ {
+			if owner[i] != "" {
+				problems = append(problems, Problem{Kind: "overlap",
+					Detail: fmt.Sprintf("sector %d claimed by both %s and %s", i, owner[i], name)})
+				return
+			}
+			owner[i] = name
+			if !fs.a.InUse(i) {
+				problems = append(problems, Problem{Kind: "unallocated",
+					Detail: fmt.Sprintf("%s uses sector %d but the allocator marks it free", name, i)})
+				return
+			}
+		}
+	}
+
+	// Metadata region.
+	claim("superblock", 0, 1)
+	claim("bitmap", fs.bitmapLBA, fs.bitmapSectors)
+	if fs.strandTab.Sectors > 0 {
+		claim("strand-table", fs.strandTab.LBA, fs.strandTab.Sectors)
+	}
+	if fs.ropeTab.Sectors > 0 {
+		claim("rope-table", fs.ropeTab.LBA, fs.ropeTab.Sectors)
+	}
+	if fs.textTab.Sectors > 0 {
+		claim("text-table", fs.textTab.LBA, fs.textTab.Sectors)
+	}
+
+	// Strands: media blocks and index blocks.
+	for _, id := range fs.strands.IDs() {
+		s := fs.strands.MustGet(id)
+		for _, run := range s.MediaRuns() {
+			claim(fmt.Sprintf("strand-%d-media", id), run.LBA, run.Sectors)
+		}
+		for _, run := range s.MetaRuns() {
+			claim(fmt.Sprintf("strand-%d-index", id), run.LBA, run.Sectors)
+		}
+	}
+
+	// Text files.
+	for _, name := range fs.text.List() {
+		for _, run := range fs.text.Extents(name) {
+			claim(fmt.Sprintf("text-%q", name), run.LBA, run.Sectors)
+		}
+	}
+
+	// Rope references resolve and stay within their strands.
+	truth := make(map[uint64][]strand.ID)
+	for _, rid := range fs.ropes.IDs() {
+		r, _ := fs.ropes.Get(rid)
+		truth[uint64(rid)] = r.Strands()
+		for i, iv := range r.Intervals {
+			check := func(name string, ref *rope.ComponentRef) {
+				if ref == nil || ref.Strand == strand.Nil {
+					return
+				}
+				s, ok := fs.strands.Get(ref.Strand)
+				if !ok {
+					problems = append(problems, Problem{Kind: "dangling-ref",
+						Detail: fmt.Sprintf("rope %d interval %d %s references unknown strand %d", rid, i, name, ref.Strand)})
+					return
+				}
+				// A ref exactly at the strand end is legal: duration
+				// rounding at split points can leave a sub-unit
+				// residue that plays as a delay. Only refs strictly
+				// beyond the strand are corrupt.
+				if avail := s.UnitCount(); ref.StartUnit > avail {
+					problems = append(problems, Problem{Kind: "range",
+						Detail: fmt.Sprintf("rope %d interval %d %s starts at unit %d of strand %d (%d units)", rid, i, name, ref.StartUnit, ref.Strand, avail)})
+				}
+			}
+			check("video", iv.Video)
+			check("audio", iv.Audio)
+		}
+	}
+
+	// Interests match the ropes exactly.
+	if err := fs.interests.Audit(truth); err != nil {
+		problems = append(problems, Problem{Kind: "interest", Detail: err.Error()})
+	}
+
+	// Leak detection: allocated sectors nothing claims.
+	leaked := 0
+	for i := 0; i < total; i++ {
+		if fs.a.InUse(i) && owner[i] == "" {
+			leaked++
+		}
+	}
+	if leaked > 0 {
+		problems = append(problems, Problem{Kind: "leak",
+			Detail: fmt.Sprintf("%d allocated sector(s) unreachable from any structure", leaked)})
+	}
+	return problems
+}

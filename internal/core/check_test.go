@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mmfs/internal/rope"
+	"mmfs/internal/strand"
+)
+
+// checkClean asserts a freshly exercised file system passes fsck.
+func checkClean(t *testing.T, fs *FS) {
+	t.Helper()
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if problems := fs.Check(); len(problems) != 0 {
+		for _, p := range problems {
+			t.Logf("  %s", p)
+		}
+		t.Fatalf("fsck found %d problem(s)", len(problems))
+	}
+}
+
+func TestCheckCleanAfterLifecycle(t *testing.T) {
+	fs, err := Format(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClean(t, fs)
+
+	// Record, edit, delete, text files, GC, reorganize — then fsck.
+	r1 := recordClip(t, fs, "venkat", 3, 6100)
+	r2 := recordClip(t, fs, "venkat", 2, 6200)
+	checkClean(t, fs)
+
+	if _, err := fs.Insert("venkat", r1.ID, time.Second, rope.AudioVisual, r2.ID, 0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	checkClean(t, fs)
+
+	if err := fs.Text().Write("note", []byte("in the gaps")); err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err := fs.Substring("venkat", r1.ID, rope.VideoOnly, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.DeleteRope("venkat", r2.ID); err != nil {
+		t.Fatal(err)
+	}
+	checkClean(t, fs)
+
+	if _, err := fs.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	checkClean(t, fs)
+
+	if _, err := fs.DeleteRope("venkat", sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.DeleteRope("venkat", r1.ID); err != nil {
+		t.Fatal(err)
+	}
+	checkClean(t, fs)
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	fs, err := Format(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Allocate sectors no structure owns.
+	if _, err := fs.Allocator().Allocate(8); err != nil {
+		t.Fatal(err)
+	}
+	problems := fs.Check()
+	found := false
+	for _, p := range problems {
+		if p.Kind == "leak" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak not detected: %v", problems)
+	}
+}
+
+func TestCheckDetectsDanglingRef(t *testing.T) {
+	fs, err := Format(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recordClip(t, fs, "venkat", 2, 6300)
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a reference.
+	r.Intervals[0].Video.Strand = strand.ID(4242)
+	problems := fs.Check()
+	found := false
+	for _, p := range problems {
+		if p.Kind == "dangling-ref" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dangling reference not detected: %v", problems)
+	}
+}
+
+func TestCheckDetectsUnallocatedUse(t *testing.T) {
+	fs, err := Format(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recordClip(t, fs, "venkat", 2, 6400)
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Free a media run behind the file system's back.
+	s := fs.Strands().MustGet(r.Intervals[0].Video.Strand)
+	runs := s.MediaRuns()
+	fs.Allocator().Free(runs[0])
+	problems := fs.Check()
+	found := false
+	for _, p := range problems {
+		if p.Kind == "unallocated" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unallocated use not detected: %v", problems)
+	}
+}

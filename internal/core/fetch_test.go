@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mmfs/internal/media"
+	"mmfs/internal/rope"
+	"mmfs/internal/strand"
+)
+
+func TestFetchUnitsFillsGapsWithSilence(t *testing.T) {
+	fs, err := Format(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recordClip(t, fs, "venkat", 3, 9100)
+	// Blank the middle second of audio; the fetch must return
+	// silence-filled units of the right size for that second.
+	if _, err := fs.DeleteRange("venkat", r.ID, rope.AudioOnly, time.Second, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	units, err := fs.FetchUnits("venkat", r.ID, rope.AudioOnly, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 30 { // 3 s at 10 units/s
+		t.Fatalf("%d audio units", len(units))
+	}
+	fill := strand.SilenceFill(1 /* layout.Audio */)
+	for i := 10; i < 20; i++ {
+		if len(units[i]) != 800 {
+			t.Fatalf("gap unit %d has %d bytes", i, len(units[i]))
+		}
+		for _, b := range units[i] {
+			if b != fill {
+				t.Fatalf("gap unit %d not silence-filled", i)
+			}
+		}
+	}
+}
+
+func TestFetchUnitsSubRange(t *testing.T) {
+	fs, err := Format(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recordClip(t, fs, "venkat", 3, 9200)
+	// Fetch frames 30..59 (the second second).
+	units, err := fs.FetchUnits("venkat", r.ID, rope.VideoOnly, time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 30 {
+		t.Fatalf("%d units", len(units))
+	}
+	for i, u := range units {
+		if err := media.ValidateFrameSeq(u, uint64(30+i)); err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+	}
+}
+
+func TestFetchUnitsErrors(t *testing.T) {
+	fs, err := Format(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recordClip(t, fs, "venkat", 2, 9300)
+	if _, err := fs.FetchUnits("venkat", r.ID, rope.AudioVisual, 0, 0); err == nil {
+		t.Fatal("AV fetch accepted (must be one medium)")
+	}
+	if _, err := fs.FetchUnits("venkat", 999, rope.VideoOnly, 0, 0); err == nil {
+		t.Fatal("unknown rope accepted")
+	}
+	r.PlayAccess = []string{"nobody"}
+	if _, err := fs.FetchUnits("mallory", r.ID, rope.VideoOnly, 0, 0); err == nil {
+		t.Fatal("access control bypassed")
+	}
+}

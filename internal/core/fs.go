@@ -1,0 +1,357 @@
+// Package core is the top-level multimedia file system facade: it ties
+// the disk, the constrained allocator, the strand and rope stores, the
+// interests-based garbage collector, the scattering-maintenance
+// editor, and the Multimedia Storage Manager into one mountable file
+// system with the paper's operation set — RECORD, PLAY, STOP, PAUSE,
+// RESUME, INSERT, REPLACE, SUBSTRING, CONCATE, DELETE (§4.1) — plus
+// Format/Open/Sync persistence.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mmfs/internal/alloc"
+	"mmfs/internal/continuity"
+	"mmfs/internal/disk"
+	"mmfs/internal/gc"
+	"mmfs/internal/msm"
+	"mmfs/internal/rope"
+	"mmfs/internal/strand"
+	"mmfs/internal/textfs"
+)
+
+// ErrAccess reports an operation denied by a rope's access lists.
+var ErrAccess = errors.New("core: access denied")
+
+const (
+	superMagic   = 0x4d4d4653 // "MMFS"
+	superVersion = 1
+	superLBA     = 0
+)
+
+// Options configure a file system at format time.
+type Options struct {
+	// Geometry describes the disk; zero value uses
+	// disk.DefaultGeometry.
+	Geometry disk.Geometry
+	// Arch is the retrieval architecture assumed when deriving
+	// granularity and scattering; zero value is pipelined.
+	Arch continuity.Config
+	// TargetCylinders is the placement policy: successive blocks of
+	// a strand stay within this many cylinders, keeping the realized
+	// scattering (and the admission-control β) far below the
+	// continuity bound. 0 uses 32.
+	TargetCylinders int
+	// VideoDeviceBufferUnits and AudioDeviceBufferUnits are the
+	// display devices' internal buffer sizes in units, from which
+	// §3.3.4 derives the storage granularity. Zeros use 6 frames and
+	// 8 audio units.
+	VideoDeviceBufferUnits int
+	AudioDeviceBufferUnits int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Geometry.Cylinders == 0 {
+		o.Geometry = disk.DefaultGeometry()
+	}
+	if o.Arch.Arch == continuity.Concurrent && o.Arch.P < 2 {
+		o.Arch.P = o.Geometry.Heads
+	}
+	if o.TargetCylinders == 0 {
+		o.TargetCylinders = 32
+	}
+	if o.VideoDeviceBufferUnits == 0 {
+		o.VideoDeviceBufferUnits = 6
+	}
+	if o.AudioDeviceBufferUnits == 0 {
+		o.AudioDeviceBufferUnits = 8
+	}
+	return o
+}
+
+// FS is a mounted multimedia file system.
+type FS struct {
+	opts      Options
+	d         *disk.Disk
+	a         *alloc.Allocator
+	strands   *strand.Store
+	ropes     *rope.Store
+	interests *gc.Interests
+	collector *gc.Collector
+	editor    *rope.Editor
+	mgr       *msm.Manager
+	dev       continuity.Device
+	text      *textfs.Store
+
+	// metadata region bookkeeping
+	bitmapLBA     int
+	bitmapSectors int
+	strandTab     alloc.Run
+	ropeTab       alloc.Run
+	textTab       alloc.Run
+	strandTabLen  int
+	ropeTabLen    int
+	textTabLen    int
+	// nextStart rotates strand start cylinders so concurrent strands
+	// spread across the disk.
+	nextStart int
+}
+
+// Format creates a fresh file system on a new simulated disk.
+func Format(opts Options) (*FS, error) {
+	opts = opts.withDefaults()
+	d, err := disk.New(opts.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	g := d.Geometry()
+	bitmapBytes := (g.TotalSectors() + 63) / 64 * 8
+	bitmapSectors := (bitmapBytes + g.SectorSize - 1) / g.SectorSize
+	reserved := 1 + bitmapSectors
+	a, err := alloc.New(g, reserved)
+	if err != nil {
+		return nil, err
+	}
+	fs := build(opts, d, a)
+	fs.bitmapLBA = 1
+	fs.bitmapSectors = bitmapSectors
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// build wires the subsystems over an existing disk and allocator.
+func build(opts Options, d *disk.Disk, a *alloc.Allocator) *FS {
+	g := d.Geometry()
+	dev := continuity.Device{
+		TransferRate: g.TransferRateBits(),
+		MaxAccess:    continuity.Seconds(g.MaxAccessTime()),
+		MinAccess:    continuity.Seconds(g.MinAccessTime()),
+	}
+	ss := strand.NewStore(d, a)
+	in := gc.New()
+	rs := rope.NewStore(ss, in)
+	fs := &FS{
+		opts:      opts,
+		d:         d,
+		a:         a,
+		strands:   ss,
+		ropes:     rs,
+		interests: in,
+		collector: gc.NewCollector(ss, in),
+		editor:    rope.NewEditor(d, a, rs, opts.TargetCylinders),
+		mgr:       msm.New(d, continuity.AdmissionFor(dev)),
+		dev:       dev,
+		text:      textfs.NewStore(d, a),
+		nextStart: g.Cylinders / 7,
+	}
+	if opts.Arch.Arch == continuity.Concurrent {
+		fs.mgr.SetConcurrency(opts.Arch.P)
+	}
+	return fs
+}
+
+// Open mounts a previously formatted file system from its disk.
+func Open(d *disk.Disk, opts Options) (*FS, error) {
+	opts = opts.withDefaults()
+	opts.Geometry = d.Geometry()
+	g := d.Geometry()
+	sb, err := d.ReadAt(superLBA, 1)
+	if err != nil {
+		return nil, err
+	}
+	get32 := func(off int) int { return int(binary.LittleEndian.Uint32(sb[off:])) }
+	if uint32(get32(0)) != superMagic {
+		return nil, fmt.Errorf("core: bad superblock magic %#x", get32(0))
+	}
+	if get32(4) != superVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", get32(4))
+	}
+	a, err := alloc.New(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	fs := build(opts, d, a)
+	fs.bitmapLBA = get32(8)
+	fs.bitmapSectors = get32(12)
+	fs.strandTab = alloc.Run{LBA: get32(16), Sectors: get32(20)}
+	fs.strandTabLen = get32(24)
+	fs.ropeTab = alloc.Run{LBA: get32(28), Sectors: get32(32)}
+	fs.ropeTabLen = get32(36)
+	fs.nextStart = get32(40)
+	fs.textTab = alloc.Run{LBA: get32(44), Sectors: get32(48)}
+	fs.textTabLen = get32(52)
+
+	bm, err := d.ReadAt(fs.bitmapLBA, fs.bitmapSectors)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.UnmarshalBitmap(bm); err != nil {
+		return nil, err
+	}
+	if fs.strandTab.Sectors > 0 {
+		data, err := d.ReadAt(fs.strandTab.LBA, fs.strandTab.Sectors)
+		if err != nil {
+			return nil, err
+		}
+		if err := fs.strands.Unmarshal(data[:fs.strandTabLen]); err != nil {
+			return nil, err
+		}
+	}
+	if fs.ropeTab.Sectors > 0 {
+		data, err := d.ReadAt(fs.ropeTab.LBA, fs.ropeTab.Sectors)
+		if err != nil {
+			return nil, err
+		}
+		if err := fs.ropes.Unmarshal(data[:fs.ropeTabLen]); err != nil {
+			return nil, err
+		}
+	}
+	if fs.textTab.Sectors > 0 {
+		data, err := d.ReadAt(fs.textTab.LBA, fs.textTab.Sectors)
+		if err != nil {
+			return nil, err
+		}
+		if err := fs.text.Unmarshal(data[:fs.textTabLen]); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// Sync persists the metadata: strand table, rope table, allocator
+// bitmap, and superblock.
+func (fs *FS) Sync() error {
+	g := fs.d.Geometry()
+	// Release prior table runs, then write fresh ones.
+	if fs.strandTab.Sectors > 0 {
+		fs.a.Free(fs.strandTab)
+		fs.strandTab = alloc.Run{}
+	}
+	if fs.ropeTab.Sectors > 0 {
+		fs.a.Free(fs.ropeTab)
+		fs.ropeTab = alloc.Run{}
+	}
+	if fs.textTab.Sectors > 0 {
+		fs.a.Free(fs.textTab)
+		fs.textTab = alloc.Run{}
+	}
+	write := func(data []byte) (alloc.Run, error) {
+		n := (len(data) + g.SectorSize - 1) / g.SectorSize
+		if n == 0 {
+			n = 1
+		}
+		run, err := fs.a.Allocate(n)
+		if err != nil {
+			return alloc.Run{}, err
+		}
+		return run, fs.d.WriteAt(run.LBA, data)
+	}
+	st := fs.strands.Marshal()
+	run, err := write(st)
+	if err != nil {
+		return err
+	}
+	fs.strandTab, fs.strandTabLen = run, len(st)
+	rt := fs.ropes.Marshal()
+	if run, err = write(rt); err != nil {
+		return err
+	}
+	fs.ropeTab, fs.ropeTabLen = run, len(rt)
+	tt := fs.text.Marshal()
+	if run, err = write(tt); err != nil {
+		return err
+	}
+	fs.textTab, fs.textTabLen = run, len(tt)
+
+	// Bitmap last: it must reflect the table allocations above.
+	if err := fs.d.WriteAt(fs.bitmapLBA, fs.a.MarshalBitmap()); err != nil {
+		return err
+	}
+	sb := make([]byte, g.SectorSize)
+	put32 := func(off int, v int) { binary.LittleEndian.PutUint32(sb[off:], uint32(v)) }
+	put32(0, int(superMagic))
+	put32(4, superVersion)
+	put32(8, fs.bitmapLBA)
+	put32(12, fs.bitmapSectors)
+	put32(16, fs.strandTab.LBA)
+	put32(20, fs.strandTab.Sectors)
+	put32(24, fs.strandTabLen)
+	put32(28, fs.ropeTab.LBA)
+	put32(32, fs.ropeTab.Sectors)
+	put32(36, fs.ropeTabLen)
+	put32(40, fs.nextStart)
+	put32(44, fs.textTab.LBA)
+	put32(48, fs.textTab.Sectors)
+	put32(52, fs.textTabLen)
+	return fs.d.WriteAt(superLBA, sb)
+}
+
+// Text exposes the integrated conventional text-file store, which
+// lives in the gaps between media blocks.
+func (fs *FS) Text() *textfs.Store { return fs.text }
+
+// Disk exposes the underlying disk.
+func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+// Allocator exposes the block allocator.
+func (fs *FS) Allocator() *alloc.Allocator { return fs.a }
+
+// Manager exposes the storage manager; callers drive virtual time
+// through it (RunRound / RunUntilDone).
+func (fs *FS) Manager() *msm.Manager { return fs.mgr }
+
+// NewManager replaces the storage manager with a fresh one (new
+// virtual clock, empty request table) over the same disk and stored
+// data. Experiments use it to run independent playback trials against
+// one recorded data set.
+func (fs *FS) NewManager() *msm.Manager {
+	fs.mgr = msm.New(fs.d, continuity.AdmissionFor(fs.dev))
+	if fs.opts.Arch.Arch == continuity.Concurrent {
+		fs.mgr.SetConcurrency(fs.opts.Arch.P)
+	}
+	return fs.mgr
+}
+
+// Strands exposes the strand registry.
+func (fs *FS) Strands() *strand.Store { return fs.strands }
+
+// Ropes exposes the rope registry.
+func (fs *FS) Ropes() *rope.Store { return fs.ropes }
+
+// Editor exposes the scattering-maintenance editor.
+func (fs *FS) Editor() *rope.Editor { return fs.editor }
+
+// Device reports the disk characteristics the continuity model sees.
+func (fs *FS) Device() continuity.Device { return fs.dev }
+
+// Options reports the mounted options.
+func (fs *FS) Options() Options { return fs.opts }
+
+// TargetScattering is the placement policy's scattering parameter in
+// seconds: the access time of a TargetCylinders-distant block.
+func (fs *FS) TargetScattering() float64 {
+	return continuity.Seconds(fs.d.Geometry().AccessTime(fs.opts.TargetCylinders))
+}
+
+// Constraint is the allocator constraint implementing the placement
+// policy.
+func (fs *FS) Constraint() alloc.Constraint {
+	return alloc.Constraint{MinCylinders: 1, MaxCylinders: fs.opts.TargetCylinders}
+}
+
+// nextStartCylinder rotates strand start positions across the disk.
+func (fs *FS) nextStartCylinder() int {
+	c := fs.nextStart
+	fs.nextStart = (fs.nextStart + fs.d.Geometry().Cylinders/5 + 13) % fs.d.Geometry().Cylinders
+	return c
+}
+
+// Collect runs the garbage collector, reclaiming unreferenced strands.
+func (fs *FS) Collect() ([]strand.ID, error) { return fs.collector.Collect() }
+
+// Occupancy reports the allocated fraction of the disk.
+func (fs *FS) Occupancy() float64 { return fs.a.Occupancy() }

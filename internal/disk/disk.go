@@ -1,0 +1,266 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats accumulates operation counters for a disk.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	SectorsRead    uint64
+	SectorsWritten uint64
+	Seeks          uint64
+	SeekTime       time.Duration
+	RotationTime   time.Duration
+	TransferTime   time.Duration
+}
+
+// BusyTime is the total time the disk spent positioning and
+// transferring.
+func (s Stats) BusyTime() time.Duration {
+	return s.SeekTime + s.RotationTime + s.TransferTime
+}
+
+// headState tracks one independent actuator.
+type headState struct {
+	cylinder int
+}
+
+// Disk is an in-memory simulated disk: a sector store plus a timing
+// model. All data-plane methods are untimed; the timing methods return
+// the virtual service time of an access so callers (the storage
+// manager's service rounds) can advance the simulation clock.
+//
+// Disk is not safe for concurrent use; the storage manager serializes
+// access, which mirrors a real single-ported drive.
+type Disk struct {
+	geom Geometry
+	// pages holds sector data one cylinder at a time, allocated on
+	// first write so that large simulated disks cost memory only for
+	// the sectors actually used. A nil page reads as zeros.
+	pages [][]byte
+	heads []headState
+	stats Stats
+}
+
+// New creates a zero-filled disk with the given geometry.
+func New(g Geometry) (*Disk, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	nh := g.Heads
+	if nh < 1 {
+		nh = 1
+	}
+	d := &Disk{
+		geom:  g,
+		pages: make([][]byte, g.Cylinders),
+		heads: make([]headState, nh),
+	}
+	return d, nil
+}
+
+// MustNew is New but panics on invalid geometry; for tests and fixed
+// experiment configurations.
+func MustNew(g Geometry) *Disk {
+	d, err := New(g)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Geometry returns the disk's geometry.
+func (d *Disk) Geometry() Geometry { return d.geom }
+
+// Heads reports the number of independent actuators (p).
+func (d *Disk) Heads() int { return len(d.heads) }
+
+// Stats returns a snapshot of the accumulated counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats clears the accumulated counters.
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// HeadCylinder reports the current cylinder of head h.
+func (d *Disk) HeadCylinder(h int) int { return d.heads[h].cylinder }
+
+// ParkHead moves head h to the given cylinder without charging time;
+// experiments use it to establish worst- or best-case starting
+// positions.
+func (d *Disk) ParkHead(h, cylinder int) {
+	if cylinder < 0 {
+		cylinder = 0
+	}
+	if cylinder >= d.geom.Cylinders {
+		cylinder = d.geom.Cylinders - 1
+	}
+	d.heads[h].cylinder = cylinder
+}
+
+func (d *Disk) checkRange(lba, n int) error {
+	if n < 0 || lba < 0 || lba+n > d.geom.TotalSectors() {
+		return fmt.Errorf("disk: access [%d,%d) outside %d sectors", lba, lba+n, d.geom.TotalSectors())
+	}
+	return nil
+}
+
+// page returns cylinder cyl's backing store, allocating it when
+// materialize is true; a nil return reads as zeros.
+func (d *Disk) page(cyl int, materialize bool) []byte {
+	if d.pages[cyl] == nil && materialize {
+		d.pages[cyl] = make([]byte, d.geom.SectorsPerCylinder()*d.geom.SectorSize)
+	}
+	return d.pages[cyl]
+}
+
+// ReadAt copies n sectors starting at lba into a fresh buffer without
+// charging time. Use Read for the timed path.
+func (d *Disk) ReadAt(lba, n int) ([]byte, error) {
+	if err := d.checkRange(lba, n); err != nil {
+		return nil, err
+	}
+	ss := d.geom.SectorSize
+	spc := d.geom.SectorsPerCylinder()
+	buf := make([]byte, n*ss)
+	for done := 0; done < n; {
+		cur := lba + done
+		cyl := cur / spc
+		inCyl := cur % spc
+		span := spc - inCyl
+		if span > n-done {
+			span = n - done
+		}
+		if p := d.page(cyl, false); p != nil {
+			copy(buf[done*ss:], p[inCyl*ss:(inCyl+span)*ss])
+		}
+		done += span
+	}
+	return buf, nil
+}
+
+// WriteAt stores data (padded to whole sectors with zeros) at lba
+// without charging time. Use Write for the timed path.
+func (d *Disk) WriteAt(lba int, data []byte) error {
+	n := (len(data) + d.geom.SectorSize - 1) / d.geom.SectorSize
+	if err := d.checkRange(lba, n); err != nil {
+		return err
+	}
+	ss := d.geom.SectorSize
+	spc := d.geom.SectorsPerCylinder()
+	padded := data
+	if len(data) != n*ss {
+		padded = make([]byte, n*ss)
+		copy(padded, data)
+	}
+	for done := 0; done < n; {
+		cur := lba + done
+		cyl := cur / spc
+		inCyl := cur % spc
+		span := spc - inCyl
+		if span > n-done {
+			span = n - done
+		}
+		p := d.page(cyl, true)
+		copy(p[inCyl*ss:(inCyl+span)*ss], padded[done*ss:(done+span)*ss])
+		done += span
+	}
+	return nil
+}
+
+// serviceTime charges the positioning and transfer costs of an access
+// by head h to lba for n sectors, moves the head, and updates stats.
+func (d *Disk) serviceTime(h, lba, n int, contiguous bool) time.Duration {
+	hs := &d.heads[h]
+	target := d.geom.CylinderOf(lba)
+	var t time.Duration
+	if !contiguous {
+		dist := target - hs.cylinder
+		if dist < 0 {
+			dist = -dist
+		}
+		st := d.geom.SeekTime(dist)
+		rot := d.geom.AvgRotationalLatency()
+		d.stats.Seeks++
+		d.stats.SeekTime += st
+		d.stats.RotationTime += rot
+		t += st + rot
+	}
+	xfer := d.geom.TransferTime(n)
+	d.stats.TransferTime += xfer
+	t += xfer
+	// Leave the head at the cylinder holding the last sector accessed.
+	if n > 0 {
+		hs.cylinder = d.geom.CylinderOf(lba + n - 1)
+	} else {
+		hs.cylinder = target
+	}
+	return t
+}
+
+// Read performs a timed read by head h of n sectors at lba, returning
+// the data and the service time (seek + average rotational latency +
+// transfer). A read that continues exactly where the head left off
+// would still pay latency here; use ReadContiguous for run
+// continuation.
+func (d *Disk) Read(h, lba, n int) ([]byte, time.Duration, error) {
+	if err := d.checkRange(lba, n); err != nil {
+		return nil, 0, err
+	}
+	t := d.serviceTime(h, lba, n, false)
+	d.stats.Reads++
+	d.stats.SectorsRead += uint64(n)
+	buf, _ := d.ReadAt(lba, n)
+	return buf, t, nil
+}
+
+// ReadContiguous performs a timed read that is physically contiguous
+// with the head's previous transfer: only transfer time is charged.
+func (d *Disk) ReadContiguous(h, lba, n int) ([]byte, time.Duration, error) {
+	if err := d.checkRange(lba, n); err != nil {
+		return nil, 0, err
+	}
+	t := d.serviceTime(h, lba, n, true)
+	d.stats.Reads++
+	d.stats.SectorsRead += uint64(n)
+	buf, _ := d.ReadAt(lba, n)
+	return buf, t, nil
+}
+
+// Write performs a timed write by head h of data at lba, returning the
+// service time. Disk write and read times are assumed equal, the
+// paper's first simplifying assumption (§3).
+func (d *Disk) Write(h, lba int, data []byte) (time.Duration, error) {
+	n := (len(data) + d.geom.SectorSize - 1) / d.geom.SectorSize
+	if err := d.checkRange(lba, n); err != nil {
+		return 0, err
+	}
+	t := d.serviceTime(h, lba, n, false)
+	d.stats.Writes++
+	d.stats.SectorsWritten += uint64(n)
+	if err := d.WriteAt(lba, data); err != nil {
+		return 0, err
+	}
+	return t, nil
+}
+
+// PeekServiceTime computes the service time head h would pay to access
+// n sectors at lba, without moving the head or updating statistics.
+func (d *Disk) PeekServiceTime(h, lba, n int) time.Duration {
+	target := d.geom.CylinderOf(lba)
+	dist := target - d.heads[h].cylinder
+	if dist < 0 {
+		dist = -dist
+	}
+	return d.geom.SeekTime(dist) + d.geom.AvgRotationalLatency() + d.geom.TransferTime(n)
+}
+
+// Zero clears n sectors at lba without charging time.
+func (d *Disk) Zero(lba, n int) error {
+	if err := d.checkRange(lba, n); err != nil {
+		return err
+	}
+	return d.WriteAt(lba, make([]byte, n*d.geom.SectorSize))
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mmfs/internal/core"
+	"mmfs/internal/media"
+	"mmfs/internal/msm"
+	"mmfs/internal/rope"
+)
+
+// EditCopy regenerates Eqs. 19–20: the number of blocks that must be
+// copied at an edit junction to keep the scattering parameter within
+// bounds, on sparsely and densely occupied disks, compared against the
+// analytic bounds C_b = l_max_seek/(2·l_lower) (sparse) and
+// l_max_seek/l_lower (dense). Each edited rope is then played to
+// confirm zero continuity violations.
+func EditCopy() Result {
+	res := Result{
+		ID:      "EXP-ED",
+		Title:   "Scattering maintenance while editing (Eqs. 19–20): blocks copied at junctions",
+		Headers: []string{"fill", "junction", "dist (cyl)", "copied", "predicted", "worst case", "post-edit viol"},
+	}
+	for _, fill := range []float64{0, 0.45, 0.8} {
+		r := newRig()
+		// Clips recorded in different disk regions so the CONCATE
+		// junctions span long seeks; both orders give two junction
+		// distances per fill level.
+		rp1, _ := r.recordVideoRope(8, 5001)
+		rp2, _ := r.recordVideoRope(8, 5002)
+
+		if fill > 0 {
+			fillDisk(r, fill)
+		}
+		occ := r.fs.Occupancy()
+
+		maxCyl := r.fs.Options().TargetCylinders
+		worst := (r.fs.Disk().Geometry().Cylinders-1)/maxCyl + 1
+		for _, pair := range []struct {
+			name string
+			a, b rope.ID
+		}{
+			{"fwd", rp1.ID, rp2.ID},
+			{"rev", rp2.ID, rp1.ID},
+		} {
+			cat, er, err := r.fs.Concate("exp", pair.a, pair.b)
+			if err != nil {
+				panic(err)
+			}
+			dist, copied := 0, er.CopiedBlocks()
+			for _, j := range er.Smoothed {
+				if j.DistCylinders > dist {
+					dist = j.DistCylinders
+				}
+			}
+			// The even-redistribution criterion predicts
+			// ⌈(dist−maxCyl)/(maxCyl−1)⌉ copies on an uncontended
+			// disk (the Eq. 19 regime in placement-policy units).
+			pred := 0
+			if dist > maxCyl {
+				pred = (dist - maxCyl + maxCyl - 2) / (maxCyl - 1)
+			}
+
+			mgr := r.fs.NewManager()
+			plan, err := r.fs.Ropes().CompilePlay(r.fs.Disk(), cat, rope.VideoOnly, 0, cat.Length(), msm.PlanOptions{ReadAhead: 2, Buffers: 8})
+			if err != nil {
+				panic(err)
+			}
+			id, _, err := mgr.AdmitPlay(plan)
+			viol := -1
+			if err == nil {
+				mgr.RunUntilDone()
+				v, _ := mgr.Violations(id)
+				viol = len(v)
+			}
+			res.AddRow(
+				fmt.Sprintf("%.0f%% (occ %.0f%%)", fill*100, occ*100),
+				pair.name,
+				fmt.Sprint(dist),
+				fmt.Sprint(copied),
+				fmt.Sprint(pred),
+				fmt.Sprint(worst),
+				fmt.Sprint(viol),
+			)
+			// Remove the derived rope so the next trial sees the
+			// same strand population.
+			if _, err := r.fs.DeleteRope("exp", cat.ID); err != nil {
+				panic(err)
+			}
+		}
+	}
+	bsT, bdT := timeBounds()
+	res.Note("paper time-metric bounds on this device: C_sparse = l_max_seek/(2·l_lower) = %d, C_dense = l_max_seek/l_lower = %d; rotation-dominated access makes them small in time units, so the placement-policy (cylinder) prediction governs the measured counts", bsT, bdT)
+	res.Note("copying creates a new strand (strands are immutable), whose ID appears in the edited rope's interval list; dense fills push copies off their ideal positions, growing counts toward the worst case")
+	return res
+}
+
+// timeBounds evaluates Eqs. 19/20 in the paper's time metric for the
+// default device.
+func timeBounds() (sparse, dense int) {
+	r := newRig()
+	return r.fs.Editor().Bounds()
+}
+
+// fillDisk raises disk occupancy to roughly the target fraction with
+// filler extents spread uniformly across the cylinders (deterministic
+// PRNG), modeling a disk shared by many other strands and text files
+// rather than one filled front-to-back.
+func fillDisk(r *rig, target float64) {
+	g := r.fs.Disk().Geometry()
+	a := r.fs.Allocator()
+	rng := rand.New(rand.NewSource(4099))
+	fails := 0
+	for a.Occupancy() < target && fails < 64 {
+		cyl := rng.Intn(g.Cylinders)
+		n := 4 + rng.Intn(24)
+		if _, err := a.AllocateNearCylinder(cyl, n); err != nil {
+			fails++
+			continue
+		}
+	}
+}
+
+// Silence regenerates §4's silence elimination: audio recorded at
+// increasing silence fractions stores proportionally fewer sectors,
+// represents the silent stretches as NULL delay holders, and still
+// plays (and fetches) with correct timing.
+func Silence() Result {
+	res := Result{
+		ID:      "EXP-SIL",
+		Title:   "Silence detection and elimination (§4): storage saved vs silence fraction",
+		Headers: []string{"silence", "blocks", "null holders", "sectors stored", "sectors full", "saved", "play viol"},
+	}
+	for _, frac := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+		r := newRig()
+		const units = 600 // 60 s of audio at 10 units/s
+		// Silence bursts of 40 units (4 s) model conversational
+		// pauses, long relative to the 4-unit block so elimination
+		// is not defeated by block-boundary quantization.
+		sess, err := r.fs.Record(core.RecordSpec{
+			Creator:            "exp",
+			Audio:              media.NewAudioSource(units, 800, 10, frac, 40, int64(6000+int(frac*100))),
+			SilenceElimination: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		r.fs.Manager().RunUntilDone()
+		rp, err := sess.Finish()
+		if err != nil {
+			panic(err)
+		}
+		s := r.fs.Strands().MustGet(rp.Intervals[0].Audio.Strand)
+		nulls := 0
+		for i := 0; i < s.NumBlocks(); i++ {
+			e, _ := s.Block(i)
+			if e.Silent() {
+				nulls++
+			}
+		}
+		stored := 0
+		for _, run := range s.MediaRuns() {
+			stored += run.Sectors
+		}
+		full := s.NumBlocks() * s.BlockSectors(r.fs.Disk().Geometry().SectorSize)
+
+		h, err := r.fs.Play("exp", rp.ID, rope.AudioOnly, 0, 0, msm.PlanOptions{ReadAhead: 2})
+		if err != nil {
+			panic(err)
+		}
+		r.fs.Manager().RunUntilDone()
+		viol, _ := r.fs.PlayViolations(h)
+
+		saved := 0.0
+		if full > 0 {
+			saved = 1 - float64(stored)/float64(full)
+		}
+		res.AddRow(
+			fmt.Sprintf("%.0f%%", frac*100),
+			fmt.Sprint(s.NumBlocks()),
+			fmt.Sprint(nulls),
+			fmt.Sprint(stored),
+			fmt.Sprint(full),
+			fmt.Sprintf("%.0f%%", saved*100),
+			fmt.Sprint(viol),
+		)
+	}
+	res.Note("paper: \"if the average energy level over a block falls below a threshold, no audio data is stored for that duration\"; NULL pointers in the primary blocks hold the delay")
+	res.Note("storage saved tracks the injected silence fraction; delay holders cost no disk transfer at playback")
+	return res
+}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a table cell as an int, tolerating decorations.
+func cellInt(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatalf("cell %q not an int", s)
+	}
+	return n
+}
+
+func TestRenderProducesTable(t *testing.T) {
+	r := Result{ID: "X", Title: "t", Headers: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.Note("n %d", 5)
+	var buf bytes.Buffer
+	Render(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"== X: t ==", "a", "bb", "1", "2", "note: n 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("experiment %q unknown", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus ID resolved")
+	}
+}
+
+func TestF4ShapeMatchesFigure4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation sweep")
+	}
+	res := F4()
+	if len(res.Rows) < 3 {
+		t.Fatalf("only %d rows", len(res.Rows))
+	}
+	// k columns are non-decreasing in n and rise toward n_max.
+	prevSteady, prevSim := 0, 0
+	for _, row := range res.Rows {
+		ks := cellInt(t, row[1])
+		sim := cellInt(t, row[3])
+		if ks < prevSteady {
+			t.Fatalf("steady k decreased: %v", res.Rows)
+		}
+		if sim < prevSim {
+			t.Fatalf("simulated k decreased: %v", res.Rows)
+		}
+		if sim > cellInt(t, row[2]) {
+			t.Fatalf("simulated k exceeds the transient bound: %v", row)
+		}
+		if viol := cellInt(t, row[5]); viol != 0 {
+			t.Fatalf("violations at chosen k: %v", row)
+		}
+		prevSteady, prevSim = ks, sim
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if cellInt(t, last[1]) <= cellInt(t, res.Rows[0][1]) {
+		t.Fatal("no k growth toward n_max; Figure 4's shape lost")
+	}
+}
+
+func TestE1E2FrontiersValidated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	for _, res := range []Result{E1Sequential(), E2Pipelined()} {
+		for _, row := range res.Rows {
+			if cellInt(t, row[len(row)-2]) != 0 {
+				t.Fatalf("%s: violations at the bound: %v", res.ID, row)
+			}
+		}
+	}
+	// The q=1 rows of both experiments must show violations past the
+	// bound (where a past-the-bound distance exists).
+	e1 := E1Sequential()
+	if cellInt(t, e1.Rows[0][len(e1.Rows[0])-1]) == 0 {
+		t.Fatal("E1: no violations past the bound at q=1")
+	}
+	e2 := E2Pipelined()
+	if cellInt(t, e2.Rows[0][len(e2.Rows[0])-1]) == 0 {
+		t.Fatal("E2: no violations past the bound at q=1")
+	}
+}
+
+func TestTransitionContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	res := Transition()
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	stepwise := cellInt(t, res.Rows[0][4])
+	naive := cellInt(t, res.Rows[1][4])
+	if stepwise != 0 {
+		t.Fatalf("stepwise transition violated %d times", stepwise)
+	}
+	if naive == 0 {
+		t.Fatal("naive jump shows no transient violations; the experiment lost its contrast")
+	}
+}
+
+func TestEditCopyMatchesPrediction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	res := EditCopy()
+	for _, row := range res.Rows {
+		copied := cellInt(t, row[3])
+		pred := cellInt(t, row[4])
+		worst := cellInt(t, row[5])
+		if copied > worst {
+			t.Fatalf("copied %d beyond worst case %d: %v", copied, worst, row)
+		}
+		// On a lightly contended disk the measured count equals the
+		// even-redistribution prediction; dense fills may exceed it
+		// but never the worst case.
+		if strings.HasPrefix(row[0], "0%") && copied != pred {
+			t.Fatalf("sparse-disk copies %d, predicted %d", copied, pred)
+		}
+		if viol := cellInt(t, row[6]); viol != 0 {
+			t.Fatalf("post-edit playback violated: %v", row)
+		}
+	}
+}
+
+func TestSilenceSavingsTrackFraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	res := Silence()
+	prevSaved := -1
+	for _, row := range res.Rows {
+		saved := cellInt(t, strings.TrimSuffix(row[5], "%"))
+		if saved < prevSaved {
+			t.Fatalf("savings not monotone: %v", res.Rows)
+		}
+		if viol := cellInt(t, row[6]); viol != 0 {
+			t.Fatalf("silence playback violated: %v", row)
+		}
+		prevSaved = saved
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if saved := cellInt(t, strings.TrimSuffix(last[5], "%")); saved < 50 {
+		t.Fatalf("80%% silence saved only %d%%", saved)
+	}
+}
+
+func TestHDTVArithmetic(t *testing.T) {
+	res := HDTV()
+	// Paper's 0.32 Gbit/s figure and verdicts.
+	if !strings.HasPrefix(res.Rows[0][2], "0.3") {
+		t.Fatalf("random-allocation rate %q, want ≈ 0.33", res.Rows[0][2])
+	}
+	if res.Rows[0][3] != "no" || res.Rows[2][3] != "yes" {
+		t.Fatalf("verdicts %v", res.Rows)
+	}
+}
+
+func TestFastForwardCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	res := FastForward()
+	foundCross := false
+	for _, row := range res.Rows {
+		if row[1] == "no" && row[2] == "no" {
+			// Analytically infeasible no-skip row: the simulation
+			// must also have violated (or been rejected, -1).
+			if cellInt(t, row[4]) == 0 {
+				t.Fatalf("infeasible FF played clean: %v", row)
+			}
+			foundCross = true
+		}
+		if row[2] == "yes" {
+			if cellInt(t, row[4]) != 0 {
+				t.Fatalf("feasible FF violated: %v", row)
+			}
+		}
+	}
+	if !foundCross {
+		t.Fatal("no infeasible no-skip speed in the sweep")
+	}
+}
+
+func TestNMaxMonotoneInDeviceSpeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	res := NMax()
+	prev := 0
+	for _, row := range res.Rows {
+		n := cellInt(t, row[4])
+		if n < prev {
+			t.Fatalf("n_max decreased on a faster device: %v", res.Rows)
+		}
+		prev = n
+	}
+	for _, note := range res.Notes {
+		if strings.Contains(note, "BUG") {
+			t.Fatal(note)
+		}
+	}
+}
+
+func TestReadAheadProvisioningKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	res := ReadAhead()
+	first := cellInt(t, res.Rows[0][4])
+	last := cellInt(t, res.Rows[len(res.Rows)-1][4])
+	if first == 0 {
+		t.Fatal("under-provisioned streams showed no violations")
+	}
+	if last != 0 {
+		t.Fatalf("fully provisioned streams violated %d times", last)
+	}
+}
+
+func TestE3ConcurrentAllClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	res := E3Concurrent()
+	for _, row := range res.Rows {
+		if row[3] == "-" {
+			continue
+		}
+		if v := cellInt(t, row[3]); v != 0 {
+			t.Fatalf("violations at the Eq. 3 bound: %v", row)
+		}
+	}
+}
+
+func TestE46MixedMediaOrdering(t *testing.T) {
+	res := E46MixedMedia()
+	// For each q_v, the heterogeneous bound must be the largest.
+	type key struct{ qv string }
+	best := map[string]float64{}
+	het := map[string]float64{}
+	for _, row := range res.Rows {
+		if row[4] == "-" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[2] == "heterogeneous" {
+			het[row[0]] = v
+		} else if v > best[row[0]] {
+			best[row[0]] = v
+		}
+	}
+	for qv, h := range het {
+		if h < best[qv] {
+			t.Fatalf("q_v=%s: heterogeneous bound %.2f below homogeneous %.2f", qv, h, best[qv])
+		}
+	}
+}
+
+func TestVBRExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	res := VBR()
+	// Storage gain must be meaningfully above 1×.
+	var gain float64
+	for _, row := range res.Rows {
+		if row[0] == "storage gain" {
+			_, err := fmt.Sscanf(row[2], "%f", &gain)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if strings.HasPrefix(row[0], "sim violations") {
+			if cellInt(t, row[2]) != 0 {
+				t.Fatalf("VBR playback violated: %v", row)
+			}
+		}
+	}
+	if gain < 1.5 {
+		t.Fatalf("storage gain %.2f×, want ≥ 1.5×", gain)
+	}
+}
+
+func TestScanExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	res := Scan()
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	zig := cellInt(t, res.Rows[0][2])
+	sorted := cellInt(t, res.Rows[1][2])
+	if sorted > zig {
+		t.Fatalf("cylinder-sorted order needs more k (%d) than zig-zag (%d)", sorted, zig)
+	}
+	var zigSeek, scanSeek float64
+	fmt.Sscanf(res.Rows[0][3], "%f", &zigSeek)
+	fmt.Sscanf(res.Rows[2][3], "%f", &scanSeek)
+	if scanSeek >= zigSeek {
+		t.Fatalf("C-SCAN did not reduce total seek: %.1f vs %.1f", scanSeek, zigSeek)
+	}
+}
+
+func TestReorgExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	res := Reorg()
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	before := cellInt(t, res.Rows[0][3])
+	after := cellInt(t, res.Rows[1][3])
+	want := cellInt(t, res.Rows[1][4])
+	if before >= want {
+		t.Fatalf("fragmented disk placed all %d blocks; no failure to fix", before)
+	}
+	if after != want {
+		t.Fatalf("after compaction placed %d of %d blocks", after, want)
+	}
+}

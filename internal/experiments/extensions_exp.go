@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mmfs/internal/continuity"
+	"mmfs/internal/layout"
+	"mmfs/internal/media"
+	"mmfs/internal/msm"
+	"mmfs/internal/strand"
+)
+
+// This file implements the paper's §6.2 future-work directions as
+// measurable extensions: variable-rate compression (EXP-VBR) and
+// seek-order-optimized request servicing (EXP-SCAN).
+
+// VBR regenerates the §6.2 variable-rate compression analysis: storage
+// gain over peak provisioning, the peak- versus average-based
+// scattering bounds, and the buffering needed for average-provisioned
+// playback to ride out intra-frame bursts.
+func VBR() Result {
+	res := Result{
+		ID:      "EXP-VBR",
+		Title:   "Variable-rate compression (§6.2): storage gain and provisioning profiles",
+		Headers: []string{"metric", "peak provisioning", "average provisioning"},
+	}
+	const (
+		frames = 600 // 20 s
+		peakB  = 36000
+		diffB  = 12000
+		gop    = 10
+		q      = 3
+	)
+	dev := stdDevice()
+	prof := continuity.VBRProfile{
+		Rate:         30,
+		PeakUnitBits: peakB * 8,
+		AvgUnitBits:  (peakB + (gop-1)*diffB) / gop * 8,
+	}
+	peakLds, avgLds, ok := continuity.VBRMaxScattering(continuity.Config{Arch: continuity.Pipelined}, q, prof, dev)
+	if !ok {
+		res.Note("device cannot sustain the VBR stream at all")
+		return res
+	}
+	peakCell := "infeasible"
+	if peakLds >= 0 {
+		peakCell = ms(peakLds)
+	}
+	res.AddRow("max l_ds (ms)", peakCell, ms(avgLds))
+
+	// Record the stream both ways and compare storage.
+	r := newRig()
+	vbrStrand := r.recordVBRStrand(frames, peakB, diffB, gop, q, 8800)
+	cbr := r.recordStrandSized(frames, peakB, q, 8801)
+	ss := r.fs.Disk().Geometry().SectorSize
+	count := func(s *strand.Strand) int {
+		total := 0
+		for _, run := range s.MediaRuns() {
+			total += run.Sectors
+		}
+		return total
+	}
+	vbrSectors, cbrSectors := count(vbrStrand), count(cbr)
+	res.AddRow("sectors stored", fmt.Sprint(cbrSectors), fmt.Sprint(vbrSectors))
+	res.AddRow("storage gain", "1.00×", fmt.Sprintf("%.2f×", float64(cbrSectors)/float64(vbrSectors)))
+	_ = ss
+
+	// Playback: strict (read-ahead 1) and burst-buffered.
+	h := continuity.VBRBurstReadAhead(q, prof, dev, 1)
+	strictViol, _ := r.playStrands([]*strand.Strand{vbrStrand}, 1, 2, 1)
+	bufferedViol, _ := r.playStrands([]*strand.Strand{vbrStrand}, h+1, 2*(h+1), 1)
+	res.AddRow("sim violations (read-ahead 1)", "-", fmt.Sprint(strictViol))
+	res.AddRow(fmt.Sprintf("sim violations (read-ahead %d)", h+1), "-", fmt.Sprint(bufferedViol))
+	res.Note("paper §6.2: variable-rate compression \"can result in varying but smaller sizes of video frames, thereby yielding better bounds for granularity and scattering\"")
+	res.Note("average provisioning admits %.2f× more stored seconds per disk; intra-frame bursts are absorbed by %d block(s) of anti-jitter read-ahead", float64(cbrSectors)/float64(vbrSectors), h+1)
+	return res
+}
+
+func (r *rig) recordVBRStrand(frames, peak, diff, gop, q int, seed int64) *strand.Strand {
+	w, err := strand.NewWriter(r.fs.Disk(), r.fs.Allocator(), strand.WriterConfig{
+		ID:          r.fs.Strands().NewID(),
+		Medium:      layout.Video,
+		Rate:        30,
+		UnitBytes:   peak,
+		Granularity: q,
+		Variable:    true,
+		Constraint:  r.fs.Constraint(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	src := media.NewVBRVideoSource(frames, peak, diff, gop, 30, seed)
+	for {
+		u, ok := src.Next()
+		if !ok {
+			break
+		}
+		if _, err := w.Append(u); err != nil {
+			panic(err)
+		}
+	}
+	s, err := w.Close()
+	if err != nil {
+		panic(err)
+	}
+	r.fs.Strands().Put(s)
+	return s
+}
+
+func (r *rig) recordStrandSized(frames, frameB, q int, seed int64) *strand.Strand {
+	w, err := strand.NewWriter(r.fs.Disk(), r.fs.Allocator(), strand.WriterConfig{
+		ID:            r.fs.Strands().NewID(),
+		Medium:        layout.Video,
+		Rate:          30,
+		UnitBytes:     frameB,
+		Granularity:   q,
+		Constraint:    r.fs.Constraint(),
+		StartCylinder: 600,
+	})
+	if err != nil {
+		panic(err)
+	}
+	src := media.NewVideoSource(frames, frameB, 30, seed)
+	for {
+		u, ok := src.Next()
+		if !ok {
+			break
+		}
+		if _, err := w.Append(u); err != nil {
+			panic(err)
+		}
+	}
+	s, err := w.Close()
+	if err != nil {
+		panic(err)
+	}
+	r.fs.Strands().Put(s)
+	return s
+}
+
+// Scan regenerates §6.2's request-ordering direction: "servicing
+// requests in the order that minimizes … the separations between
+// blocks, thereby minimizing the overhead of switching between
+// requests". With a C-SCAN service order inside each round, the
+// realized round time drops and the same k carries more streams than
+// arrival-order servicing.
+func Scan() Result {
+	res := Result{
+		ID:      "EXP-SCAN",
+		Title:   "Seek-ordered servicing (§6.2): arrival order vs C-SCAN within rounds",
+		Headers: []string{"order", "streams", "min feasible k", "total seek @k (ms)", "switch seeks/round (ms)"},
+	}
+	dev := stdDevice()
+	adm := continuity.AdmissionFor(dev)
+	tmpl := stdRequest(3)
+	n := adm.NMax(tmpl)
+	reqs := make([]continuity.Request, n)
+	for i := range reqs {
+		reqs[i] = tmpl
+	}
+	kFull, _ := adm.KTransient(reqs)
+
+	// One shared data set: strands spread across the disk, admitted
+	// in an order that zig-zags the actuator (worst case for
+	// arrival-order servicing).
+	r := newRig()
+	strands := make([]*strand.Strand, n)
+	for i := range strands {
+		_, strands[i] = r.recordVideoRope(20, int64(9100+i))
+	}
+	zigzag := make([]*strand.Strand, 0, n)
+	for lo, hi := 0, n-1; lo <= hi; lo, hi = lo+1, hi-1 {
+		zigzag = append(zigzag, strands[lo])
+		if hi != lo {
+			zigzag = append(zigzag, strands[hi])
+		}
+	}
+
+	trial := func(order msm.ServiceOrder, admitOrder []*strand.Strand, k int) (viol int, seek, busy float64, rounds uint64) {
+		mgr := r.fs.NewManager()
+		r.fs.Disk().ResetStats()
+		mgr.SetPolicy(msm.NaiveJump)
+		mgr.SetServiceOrder(order)
+		mgr.ForceK(k)
+		var ids []msm.RequestID
+		for _, s := range admitOrder {
+			plan, err := msm.PlanStrandPlay(r.fs.Disk(), s, msm.PlanOptions{
+				ReadAhead:  k,
+				Buffers:    2 * k,
+				Scattering: r.fs.TargetScattering(),
+			})
+			if err != nil {
+				panic(err)
+			}
+			id, _, err := mgr.AdmitPlay(plan)
+			if err != nil {
+				panic(err)
+			}
+			ids = append(ids, id)
+			mgr.ForceK(k)
+		}
+		mgr.RunUntilDone()
+		for _, id := range ids {
+			v, _ := mgr.Violations(id)
+			viol += len(v)
+		}
+		dst := r.fs.Disk().Stats()
+		return viol, float64(dst.SeekTime.Milliseconds()), float64(dst.BusyTime().Milliseconds()), mgr.Stats().Rounds
+	}
+
+	arms := []struct {
+		name  string
+		order msm.ServiceOrder
+		admit []*strand.Strand
+	}{
+		{"arrival (zig-zag)", msm.ArrivalOrder, zigzag},
+		{"arrival (cylinder-sorted)", msm.ArrivalOrder, strands},
+		{"C-SCAN per round", msm.ScanOrder, zigzag},
+	}
+	for _, arm := range arms {
+		kMin := -1
+		var seekAtK, switchPerRound float64
+		for k := 1; k <= kFull+4; k++ {
+			viol, seek, _, rounds := trial(arm.order, arm.admit, k)
+			if viol == 0 {
+				kMin = k
+				seekAtK = seek
+				if rounds > 0 {
+					switchPerRound = seek / float64(rounds)
+				}
+				break
+			}
+		}
+		res.AddRow(arm.name, fmt.Sprint(n), fmt.Sprint(kMin),
+			fmt.Sprintf("%.1f", seekAtK), fmt.Sprintf("%.2f", switchPerRound))
+	}
+	res.Note("paper §6.2: round-robin in arrival order forces the admission formulas to assume the maximum seek per switch, making the n_max estimate \"pessimistic\"; servicing \"in the order that minimizes the separations between blocks\" shrinks the realized switch cost")
+	res.Note("the static cylinder-sorted order gets the seek savings without jitter; per-round C-SCAN minimizes seeks further but lets a stream's service slot drift by almost a full round between sweeps, demanding deeper buffering (the tension later resolved by grouped-sweeping schedulers)")
+	return res
+}

@@ -1,0 +1,301 @@
+// Package layout implements the on-disk organization of a media
+// strand (Figures 5 and 6 of Rangan & Vin): a 3-level index in which a
+// Header Block points to Secondary Blocks, each Secondary Block points
+// to Primary Blocks, and each Primary Block maps media block numbers
+// to raw disk addresses. The structure "permits large strand sizes,
+// and random as well as concurrent access to strands".
+//
+// Silence elimination (§4) is represented exactly as the paper
+// prescribes: "We use NULL pointers in the primary blocks of a strand
+// to indicate silence for the duration of a block."
+package layout
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mmfs/internal/disk"
+)
+
+// NullSector is the NULL pointer value marking a silent (delay-holder)
+// media block that occupies no disk space.
+const NullSector = ^uint32(0)
+
+// headerMagic identifies a strand header block on disk.
+const headerMagic = 0x4d4d4853 // "MMHS"
+
+// PrimaryEntry is one Primary Block entry (Figure 6): the position and
+// length of one media block. A Sector of NullSector denotes silence
+// for the duration of the block.
+type PrimaryEntry struct {
+	// Sector is the media block's position on disk (LBA).
+	Sector uint32
+	// SectorCount is the media block's length in sectors.
+	SectorCount uint32
+}
+
+// Silent reports whether the entry is a silence delay holder.
+func (e PrimaryEntry) Silent() bool { return e.Sector == NullSector }
+
+// SilenceEntry is the delay holder placed for an eliminated silent
+// block.
+func SilenceEntry() PrimaryEntry { return PrimaryEntry{Sector: NullSector} }
+
+// primaryEntrySize is the encoded size of a PrimaryEntry.
+const primaryEntrySize = 8
+
+// SecondaryEntry is one Secondary Block entry (Figure 6): a pointer to
+// a Primary Block together with the range of media block numbers it
+// covers.
+type SecondaryEntry struct {
+	// StartBlock is the first media block number mapped by the
+	// Primary Block.
+	StartBlock uint32
+	// BlockCount is the number of media blocks mapped.
+	BlockCount uint32
+	// Sector is the Primary Block's position on disk.
+	Sector uint32
+	// SectorCount is the Primary Block's length in sectors.
+	SectorCount uint32
+}
+
+// secondaryEntrySize is the encoded size of a SecondaryEntry.
+const secondaryEntrySize = 16
+
+// Medium distinguishes the two strand media kinds.
+type Medium uint8
+
+const (
+	// Video strands hold frames.
+	Video Medium = iota
+	// Audio strands hold samples.
+	Audio
+	// Mixed strands hold heterogeneous blocks: composite units
+	// carrying a video frame together with its share of audio
+	// samples (§3.3.3's heterogeneous-block scheme, which "provides
+	// implicit inter-media synchronization").
+	Mixed
+)
+
+// String names the medium.
+func (m Medium) String() string {
+	switch m {
+	case Video:
+		return "video"
+	case Audio:
+		return "audio"
+	default:
+		return "mixed"
+	}
+}
+
+// Header flag bits.
+const (
+	// FlagVariable marks a strand whose units have variable sizes
+	// (variable-rate compression, the paper's §6.2 extension). Media
+	// blocks of such strands carry a 32-bit length prefix before each
+	// unit, and UnitBits records the maximum (peak) unit size.
+	FlagVariable uint8 = 1 << 0
+)
+
+// Header is the strand Header Block (Figure 6): the rate of recording,
+// the number of secondary blocks, the total number of frames, and the
+// array of pointers to Secondary Blocks. The identity and granularity
+// fields beyond Figure 6 carry what the prototype kept in its strand
+// registry.
+type Header struct {
+	// StrandID is the strand's unique ID.
+	StrandID uint64
+	// Medium is the strand's media kind.
+	Medium Medium
+	// Flags carries format bits (FlagVariable).
+	Flags uint8
+	// RateMilli is the recording rate in units/second ×1000
+	// (Figure 6's frameRate, with sub-Hz precision for audio-derived
+	// rates).
+	RateMilli uint64
+	// UnitBits is the size of one frame or sample in bits; for
+	// variable-rate strands it is the peak unit size.
+	UnitBits uint32
+	// Granularity is the storage granularity: units per media block.
+	Granularity uint32
+	// UnitCount is Figure 6's frameCount: total recorded units.
+	UnitCount uint64
+	// BlockCount is the number of media blocks (including silence
+	// delay holders).
+	BlockCount uint32
+	// Secondaries are the pointers to the Secondary Blocks
+	// (Figure 6's secondaryArray), as sector runs.
+	Secondaries []SecondaryRun
+}
+
+// SecondaryRun locates one Secondary Block.
+type SecondaryRun struct {
+	Sector      uint32
+	SectorCount uint32
+}
+
+// Rate is the recording rate in units/second.
+func (h Header) Rate() float64 { return float64(h.RateMilli) / 1000 }
+
+// headerFixedSize is the encoded size of the fixed part of a Header.
+const headerFixedSize = 4 + 8 + 1 + 1 + 8 + 4 + 4 + 8 + 4 + 4 // magic..secondaryCount
+
+// EncodeHeader serializes the header into whole sectors of the given
+// size. It fails if the secondary array does not fit in one header
+// block of maxSectors sectors.
+func EncodeHeader(h Header, sectorSize, maxSectors int) ([]byte, error) {
+	need := headerFixedSize + len(h.Secondaries)*8
+	if need > sectorSize*maxSectors {
+		return nil, fmt.Errorf("layout: header needs %d bytes, block holds %d", need, sectorSize*maxSectors)
+	}
+	sectors := (need + sectorSize - 1) / sectorSize
+	buf := make([]byte, sectors*sectorSize)
+	o := 0
+	put32 := func(v uint32) { binary.LittleEndian.PutUint32(buf[o:], v); o += 4 }
+	put64 := func(v uint64) { binary.LittleEndian.PutUint64(buf[o:], v); o += 8 }
+	put32(headerMagic)
+	put64(h.StrandID)
+	buf[o] = byte(h.Medium)
+	o++
+	buf[o] = h.Flags
+	o++
+	put64(h.RateMilli)
+	put32(h.UnitBits)
+	put32(h.Granularity)
+	put64(h.UnitCount)
+	put32(h.BlockCount)
+	put32(uint32(len(h.Secondaries)))
+	for _, s := range h.Secondaries {
+		put32(s.Sector)
+		put32(s.SectorCount)
+	}
+	return buf, nil
+}
+
+// DecodeHeader parses a header block.
+func DecodeHeader(data []byte) (Header, error) {
+	if len(data) < headerFixedSize {
+		return Header{}, fmt.Errorf("layout: header block truncated at %d bytes", len(data))
+	}
+	o := 0
+	get32 := func() uint32 { v := binary.LittleEndian.Uint32(data[o:]); o += 4; return v }
+	get64 := func() uint64 { v := binary.LittleEndian.Uint64(data[o:]); o += 8; return v }
+	if m := get32(); m != headerMagic {
+		return Header{}, fmt.Errorf("layout: bad header magic %#x", m)
+	}
+	var h Header
+	h.StrandID = get64()
+	h.Medium = Medium(data[o])
+	o++
+	h.Flags = data[o]
+	o++
+	h.RateMilli = get64()
+	h.UnitBits = get32()
+	h.Granularity = get32()
+	h.UnitCount = get64()
+	h.BlockCount = get32()
+	n := int(get32())
+	if headerFixedSize+n*8 > len(data) {
+		return Header{}, fmt.Errorf("layout: header claims %d secondaries beyond block", n)
+	}
+	h.Secondaries = make([]SecondaryRun, n)
+	for i := range h.Secondaries {
+		h.Secondaries[i].Sector = get32()
+		h.Secondaries[i].SectorCount = get32()
+	}
+	return h, nil
+}
+
+// EncodePrimary serializes primary entries into whole sectors.
+func EncodePrimary(entries []PrimaryEntry, sectorSize int) []byte {
+	need := len(entries) * primaryEntrySize
+	sectors := (need + sectorSize - 1) / sectorSize
+	if sectors == 0 {
+		sectors = 1
+	}
+	buf := make([]byte, sectors*sectorSize)
+	for i, e := range entries {
+		binary.LittleEndian.PutUint32(buf[i*primaryEntrySize:], e.Sector)
+		binary.LittleEndian.PutUint32(buf[i*primaryEntrySize+4:], e.SectorCount)
+	}
+	return buf
+}
+
+// DecodePrimary parses n primary entries from a primary block.
+func DecodePrimary(data []byte, n int) ([]PrimaryEntry, error) {
+	if n*primaryEntrySize > len(data) {
+		return nil, fmt.Errorf("layout: primary block holds %d bytes, need %d entries", len(data), n)
+	}
+	out := make([]PrimaryEntry, n)
+	for i := range out {
+		out[i].Sector = binary.LittleEndian.Uint32(data[i*primaryEntrySize:])
+		out[i].SectorCount = binary.LittleEndian.Uint32(data[i*primaryEntrySize+4:])
+	}
+	return out, nil
+}
+
+// EncodeSecondary serializes secondary entries into whole sectors,
+// prefixed with the entry count.
+func EncodeSecondary(entries []SecondaryEntry, sectorSize int) []byte {
+	need := 4 + len(entries)*secondaryEntrySize
+	sectors := (need + sectorSize - 1) / sectorSize
+	if sectors == 0 {
+		sectors = 1
+	}
+	buf := make([]byte, sectors*sectorSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
+	for i, e := range entries {
+		o := 4 + i*secondaryEntrySize
+		binary.LittleEndian.PutUint32(buf[o:], e.StartBlock)
+		binary.LittleEndian.PutUint32(buf[o+4:], e.BlockCount)
+		binary.LittleEndian.PutUint32(buf[o+8:], e.Sector)
+		binary.LittleEndian.PutUint32(buf[o+12:], e.SectorCount)
+	}
+	return buf
+}
+
+// DecodeSecondary parses a secondary block.
+func DecodeSecondary(data []byte) ([]SecondaryEntry, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("layout: secondary block truncated at %d bytes", len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if 4+n*secondaryEntrySize > len(data) {
+		return nil, fmt.Errorf("layout: secondary block claims %d entries beyond %d bytes", n, len(data))
+	}
+	out := make([]SecondaryEntry, n)
+	for i := range out {
+		o := 4 + i*secondaryEntrySize
+		out[i].StartBlock = binary.LittleEndian.Uint32(data[o:])
+		out[i].BlockCount = binary.LittleEndian.Uint32(data[o+4:])
+		out[i].Sector = binary.LittleEndian.Uint32(data[o+8:])
+		out[i].SectorCount = binary.LittleEndian.Uint32(data[o+12:])
+	}
+	return out, nil
+}
+
+// PrimaryEntriesPerBlock is the fan-out of a one-sector Primary Block.
+func PrimaryEntriesPerBlock(sectorSize int) int { return sectorSize / primaryEntrySize }
+
+// SecondaryEntriesPerBlock is the fan-out of a one-sector Secondary
+// Block.
+func SecondaryEntriesPerBlock(sectorSize int) int {
+	return (sectorSize - 4) / secondaryEntrySize
+}
+
+// Sink abstracts the metadata write path so the index builder can run
+// against the disk or a capture buffer in tests.
+type Sink interface {
+	WriteAt(lba int, data []byte) error
+}
+
+// Source abstracts the metadata read path.
+type Source interface {
+	ReadAt(lba, n int) ([]byte, error)
+}
+
+var (
+	_ Sink   = (*disk.Disk)(nil)
+	_ Source = (*disk.Disk)(nil)
+)

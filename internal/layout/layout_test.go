@@ -1,0 +1,259 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const sectorSize = 512
+
+func TestPrimaryEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%60 + 1
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]PrimaryEntry, n)
+		for i := range in {
+			if rng.Intn(5) == 0 {
+				in[i] = SilenceEntry()
+			} else {
+				in[i] = PrimaryEntry{Sector: rng.Uint32() % 1e6, SectorCount: 1 + rng.Uint32()%32}
+			}
+		}
+		buf := EncodePrimary(in, sectorSize)
+		if len(buf)%sectorSize != 0 {
+			return false
+		}
+		out, err := DecodePrimary(buf, n)
+		if err != nil {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+			if in[i].Silent() != out[i].Silent() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondaryEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN) % 25
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]SecondaryEntry, n)
+		for i := range in {
+			in[i] = SecondaryEntry{
+				StartBlock:  rng.Uint32() % 1e5,
+				BlockCount:  1 + rng.Uint32()%256,
+				Sector:      rng.Uint32() % 1e6,
+				SectorCount: 1 + rng.Uint32()%4,
+			}
+		}
+		buf := EncodeSecondary(in, sectorSize)
+		out, err := DecodeSecondary(buf)
+		if err != nil || len(out) != n {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderEncodeDecodeRoundTrip(t *testing.T) {
+	h := Header{
+		StrandID:    42,
+		Medium:      Audio,
+		RateMilli:   8000_000,
+		UnitBits:    8,
+		Granularity: 512,
+		UnitCount:   123456,
+		BlockCount:  242,
+		Secondaries: []SecondaryRun{{Sector: 99, SectorCount: 1}, {Sector: 180, SectorCount: 2}},
+	}
+	buf, err := EncodeHeader(h, sectorSize, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StrandID != h.StrandID || got.Medium != h.Medium || got.RateMilli != h.RateMilli ||
+		got.UnitBits != h.UnitBits || got.Granularity != h.Granularity ||
+		got.UnitCount != h.UnitCount || got.BlockCount != h.BlockCount {
+		t.Fatalf("header mismatch: %+v vs %+v", got, h)
+	}
+	if len(got.Secondaries) != 2 || got.Secondaries[1] != h.Secondaries[1] {
+		t.Fatalf("secondaries %+v", got.Secondaries)
+	}
+	if got.Rate() != 8000 {
+		t.Fatalf("rate %g", got.Rate())
+	}
+}
+
+func TestHeaderDecodeRejectsCorruption(t *testing.T) {
+	h := Header{StrandID: 1, Medium: Video, RateMilli: 30000, UnitBits: 8, Granularity: 1}
+	buf, err := EncodeHeader(h, sectorSize, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xff // magic
+	if _, err := DecodeHeader(bad); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	if _, err := DecodeHeader(buf[:10]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestHeaderTooManySecondaries(t *testing.T) {
+	h := Header{StrandID: 1, Secondaries: make([]SecondaryRun, 10000)}
+	if _, err := EncodeHeader(h, sectorSize, 1); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+}
+
+// memSink is an in-memory Sink/Source for index tests.
+type memSink struct {
+	sectors map[int][]byte
+}
+
+func newMemSink() *memSink { return &memSink{sectors: make(map[int][]byte)} }
+
+func (m *memSink) WriteAt(lba int, data []byte) error {
+	for o := 0; o < len(data); o += sectorSize {
+		end := o + sectorSize
+		if end > len(data) {
+			end = len(data)
+		}
+		sec := make([]byte, sectorSize)
+		copy(sec, data[o:end])
+		m.sectors[lba+o/sectorSize] = sec
+	}
+	return nil
+}
+
+func (m *memSink) ReadAt(lba, n int) ([]byte, error) {
+	out := make([]byte, n*sectorSize)
+	for i := 0; i < n; i++ {
+		if sec, ok := m.sectors[lba+i]; ok {
+			copy(out[i*sectorSize:], sec)
+		}
+	}
+	return out, nil
+}
+
+// seqAlloc hands out ascending sector runs.
+type seqAlloc struct{ next int }
+
+func (s *seqAlloc) alloc(n int) (int, error) {
+	lba := s.next
+	s.next += n
+	return lba, nil
+}
+
+func buildAndLoad(t *testing.T, nBlocks int) (*Index, *Index) {
+	t.Helper()
+	sink := newMemSink()
+	al := &seqAlloc{next: 1000}
+	entries := make([]PrimaryEntry, nBlocks)
+	for i := range entries {
+		if i%7 == 3 {
+			entries[i] = SilenceEntry()
+		} else {
+			entries[i] = PrimaryEntry{Sector: uint32(10000 + i*16), SectorCount: 9}
+		}
+	}
+	h := Header{StrandID: 5, Medium: Video, RateMilli: 30000, UnitBits: 144000, Granularity: 3, UnitCount: uint64(3 * nBlocks)}
+	built, err := BuildIndex(h, entries, sectorSize, al.alloc, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(sink, int(built.HeaderRun.Sector), int(built.HeaderRun.SectorCount), sectorSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return built, loaded
+}
+
+func TestIndexBuildLoadRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 65, 200, 1000} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			built, loaded := buildAndLoad(t, n)
+			if loaded.NumBlocks() != n {
+				t.Fatalf("loaded %d blocks, want %d", loaded.NumBlocks(), n)
+			}
+			for i := 0; i < n; i++ {
+				a, _ := built.Block(i)
+				b, err := loaded.Block(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != b {
+					t.Fatalf("block %d differs: %+v vs %+v", i, a, b)
+				}
+			}
+			if loaded.Header.UnitCount != built.Header.UnitCount {
+				t.Fatal("unit count lost")
+			}
+		})
+	}
+}
+
+func TestIndexMultiLevelFanOut(t *testing.T) {
+	// 512-byte sectors: 64 primary entries per PB, 31 secondary
+	// entries per SB. 64*31 = 1984 blocks forces a second secondary
+	// block.
+	built, loaded := buildAndLoad(t, 2500)
+	if len(built.Header.Secondaries) < 2 {
+		t.Fatalf("expected ≥ 2 secondary blocks, got %d", len(built.Header.Secondaries))
+	}
+	e, err := loaded.Block(2499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Silent() {
+		t.Fatal("unexpected silence at tail")
+	}
+}
+
+func TestIndexBlockOutOfRange(t *testing.T) {
+	_, loaded := buildAndLoad(t, 10)
+	if _, err := loaded.Block(10); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if _, err := loaded.Block(-1); err == nil {
+		t.Fatal("negative block accepted")
+	}
+}
+
+func TestFanOutHelpers(t *testing.T) {
+	if got := PrimaryEntriesPerBlock(sectorSize); got != 64 {
+		t.Fatalf("primary fan-out %d", got)
+	}
+	if got := SecondaryEntriesPerBlock(sectorSize); got != 31 {
+		t.Fatalf("secondary fan-out %d", got)
+	}
+}
+
+func TestMediumString(t *testing.T) {
+	if Video.String() != "video" || Audio.String() != "audio" {
+		t.Fatal("medium names")
+	}
+}

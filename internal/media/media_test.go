@@ -1,0 +1,165 @@
+package media
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestVideoSourceDeterministic(t *testing.T) {
+	a := NewVideoSource(10, 1000, 30, 42)
+	b := NewVideoSource(10, 1000, 30, 42)
+	for {
+		ua, oka := a.Next()
+		ub, okb := b.Next()
+		if oka != okb {
+			t.Fatal("sources diverged in length")
+		}
+		if !oka {
+			break
+		}
+		if ua.Seq != ub.Seq || !bytes.Equal(ua.Payload, ub.Payload) {
+			t.Fatalf("frame %d differs between identical sources", ua.Seq)
+		}
+	}
+}
+
+func TestVideoSourceExhausts(t *testing.T) {
+	s := NewVideoSource(3, 64, 30, 1)
+	n := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("source yielded %d frames, want 3", n)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source yielded another frame")
+	}
+}
+
+func TestFramePayloadRegeneratesExactly(t *testing.T) {
+	s := NewVideoSource(5, 256, 30, 77)
+	for {
+		u, ok := s.Next()
+		if !ok {
+			break
+		}
+		regen := FramePayload(77, u.Seq, 256)
+		if !bytes.Equal(u.Payload, regen) {
+			t.Fatalf("frame %d cannot be regenerated", u.Seq)
+		}
+		if err := ValidateFrameSeq(u.Payload, u.Seq); err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateFrameSeq(u.Payload, u.Seq+1); err == nil {
+			t.Fatal("wrong stamp accepted")
+		}
+	}
+}
+
+func TestValidateFrameSeqShortPayload(t *testing.T) {
+	if err := ValidateFrameSeq([]byte{1, 2}, 0); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestSilenceDetectorSeparatesSpeechFromSilence(t *testing.T) {
+	det := DefaultSilenceDetector()
+	src := NewAudioSource(200, 400, 10, 0.5, 10, 3)
+	misclassified := 0
+	for {
+		u, ok := src.Next()
+		if !ok {
+			break
+		}
+		if det.Silent(u.Payload) != src.UnitSilent(u.Seq) {
+			misclassified++
+		}
+	}
+	if misclassified != 0 {
+		t.Fatalf("%d units misclassified", misclassified)
+	}
+	if !det.Silent(nil) {
+		t.Fatal("empty payload should read as silent")
+	}
+}
+
+func TestAudioSilenceFractionTracksParameter(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		src := NewAudioSource(1000, 80, 10, frac, 10, 9)
+		silent := 0
+		for seq := uint64(0); seq < 1000; seq++ {
+			if src.UnitSilent(seq) {
+				silent++
+			}
+		}
+		got := float64(silent) / 1000
+		if got < frac-0.08 || got > frac+0.08 {
+			t.Fatalf("silence fraction %.2f for parameter %.2f", got, frac)
+		}
+	}
+}
+
+func TestAudioSourceRates(t *testing.T) {
+	src := NewAudioSource(10, 800, 10, 0, 1, 4)
+	if src.Rate() != 10 || src.UnitBytes() != 800 {
+		t.Fatalf("rate %g unit %d", src.Rate(), src.UnitBytes())
+	}
+	u, ok := src.Next()
+	if !ok || len(u.Payload) != 800 {
+		t.Fatal("bad first unit")
+	}
+}
+
+func TestSliceSourceReplays(t *testing.T) {
+	units := []Unit{
+		{Seq: 0, Payload: []byte{1, 2}},
+		{Seq: 1, Payload: []byte{3, 4}},
+	}
+	s := NewSliceSource(units, 30, 2)
+	if s.Rate() != 30 || s.UnitBytes() != 2 {
+		t.Fatal("metadata")
+	}
+	u0, ok := s.Next()
+	if !ok || u0.Seq != 0 {
+		t.Fatal("first unit")
+	}
+	u1, ok := s.Next()
+	if !ok || !bytes.Equal(u1.Payload, []byte{3, 4}) {
+		t.Fatal("second unit")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("slice source over-delivered")
+	}
+}
+
+// Property: every frame payload stamps its own sequence number.
+func TestFrameStampQuick(t *testing.T) {
+	f := func(seed int64, rawSeq uint16, rawSize uint8) bool {
+		size := 8 + int(rawSize)
+		p := FramePayload(seed, uint64(rawSeq), size)
+		return len(p) == size && ValidateFrameSeq(p, uint64(rawSeq)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: silence bursts are exactly burstUnits long at the start of
+// each cycle.
+func TestSilenceBurstShapeQuick(t *testing.T) {
+	f := func(rawBurst uint8) bool {
+		burst := int(rawBurst)%20 + 1
+		src := NewAudioSource(1, 8, 10, 0.5, burst, 1)
+		// Unit 0 must be silent (cycle start), unit burst must not.
+		return src.UnitSilent(0) && !src.UnitSilent(uint64(burst))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

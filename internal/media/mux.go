@@ -1,0 +1,105 @@
+package media
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MuxAVSource interleaves a video source and an audio source into
+// composite units for heterogeneous-block storage (§3.3.3: "multiple
+// media being recorded are stored within the same block, which may
+// entail additional processing for combining these media during
+// storage, and for separating them during retrieval. The advantage of
+// this scheme is that it provides implicit inter-media
+// synchronization.").
+//
+// Each composite unit carries one video frame followed by that frame's
+// share of audio samples; both media ride one strand, one index, and
+// one disk access per block.
+type MuxAVSource struct {
+	video Source
+	audio Source
+	// audioPerFrame is the number of audio payload bytes packed with
+	// each frame.
+	audioPerFrame int
+	pending       []byte // buffered audio bytes not yet emitted
+	next          uint64
+}
+
+// NewMuxAVSource combines the sources. The audio source's byte rate is
+// divided evenly across video frames; rates must divide cleanly so
+// every composite unit has the same size (fixed-size units keep
+// heterogeneous blocks simple, as in the paper's n = 1 analysis).
+func NewMuxAVSource(video, audio Source) (*MuxAVSource, error) {
+	if video == nil || audio == nil {
+		return nil, fmt.Errorf("media: mux needs both media")
+	}
+	audioBytesPerSec := audio.Rate() * float64(audio.UnitBytes())
+	perFrame := audioBytesPerSec / video.Rate()
+	if perFrame != float64(int(perFrame)) || perFrame <= 0 {
+		return nil, fmt.Errorf("media: audio %g B/s does not divide evenly across %g frames/s", audioBytesPerSec, video.Rate())
+	}
+	return &MuxAVSource{video: video, audio: audio, audioPerFrame: int(perFrame)}, nil
+}
+
+// AudioBytesPerFrame reports the audio share of each composite unit.
+func (m *MuxAVSource) AudioBytesPerFrame() int { return m.audioPerFrame }
+
+// VideoBytes reports the video share of each composite unit.
+func (m *MuxAVSource) VideoBytes() int { return m.video.UnitBytes() }
+
+// Next implements Source: the next composite unit, combining the media
+// at the input as the paper's heterogeneous scheme requires.
+func (m *MuxAVSource) Next() (Unit, bool) {
+	vu, ok := m.video.Next()
+	if !ok {
+		return Unit{}, false
+	}
+	for len(m.pending) < m.audioPerFrame {
+		au, ok := m.audio.Next()
+		if !ok {
+			// Audio ran dry: pad with silence so the composite
+			// stream stays fixed-size.
+			pad := make([]byte, m.audioPerFrame-len(m.pending))
+			for i := range pad {
+				pad[i] = 128
+			}
+			m.pending = append(m.pending, pad...)
+			break
+		}
+		m.pending = append(m.pending, au.Payload...)
+	}
+	// Self-describing layout: [u32 video length][frame][audio], so
+	// retrieval can separate the media without out-of-band metadata.
+	payload := make([]byte, 0, 4+m.video.UnitBytes()+m.audioPerFrame)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(vu.Payload)))
+	payload = append(payload, hdr[:]...)
+	payload = append(payload, vu.Payload...)
+	payload = append(payload, m.pending[:m.audioPerFrame]...)
+	m.pending = m.pending[m.audioPerFrame:]
+	u := Unit{Seq: m.next, Payload: payload}
+	m.next++
+	return u, true
+}
+
+// Rate implements Source: composite units flow at the video frame
+// rate.
+func (m *MuxAVSource) Rate() float64 { return m.video.Rate() }
+
+// UnitBytes implements Source (4-byte split header + frame + audio
+// share).
+func (m *MuxAVSource) UnitBytes() int { return 4 + m.video.UnitBytes() + m.audioPerFrame }
+
+// SplitAV separates a composite unit back into its frame and audio
+// share — the "separating them during retrieval" step.
+func SplitAV(payload []byte) (frame, audio []byte, err error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("media: composite unit of %d bytes has no split header", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if 4+n > len(payload) {
+		return nil, nil, fmt.Errorf("media: composite unit claims %d video bytes of %d", n, len(payload)-4)
+	}
+	return payload[4 : 4+n], payload[4+n:], nil
+}

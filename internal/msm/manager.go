@@ -1,0 +1,726 @@
+package msm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mmfs/internal/continuity"
+	"mmfs/internal/disk"
+	"mmfs/internal/sim"
+)
+
+// ErrAdmissionRejected reports that accepting the request would
+// violate the real-time constraints of the already-admitted requests.
+var ErrAdmissionRejected = errors.New("msm: admission rejected")
+
+// ServiceOrder selects the order requests are serviced within a round.
+type ServiceOrder int
+
+const (
+	// ArrivalOrder is the paper's baseline: "round-robin servicing of
+	// requests in the order in which they are received" (§6.2), which
+	// forces admission control to assume the maximum seek between
+	// requests.
+	ArrivalOrder ServiceOrder = iota
+	// ScanOrder implements §6.2's proposed improvement: servicing
+	// requests "in the order that minimizes … the separations between
+	// blocks" — a C-SCAN sweep over the cylinders of each request's
+	// next block, cutting the switch overhead well below the
+	// worst-case seek the admission formulas charge.
+	ScanOrder
+)
+
+// String names the order.
+func (o ServiceOrder) String() string {
+	if o == ScanOrder {
+		return "scan"
+	}
+	return "arrival"
+}
+
+// TransitionPolicy selects how the manager grows k when an admission
+// raises it.
+type TransitionPolicy int
+
+const (
+	// Stepwise is the paper's algorithm: k grows by one per round
+	// under the transient-safe bound (Eq. 18), guaranteeing
+	// continuity during the transition.
+	Stepwise TransitionPolicy = iota
+	// NaiveJump switches directly from k_old to k_new; the paper
+	// shows this can cause transient discontinuities ("the time
+	// spent to transfer k_new blocks may exceed the playback
+	// duration of k_old blocks"). Provided for the EXP-TR
+	// experiment.
+	NaiveJump
+)
+
+// Stats counts manager activity.
+type Stats struct {
+	Rounds          uint64
+	BlocksFetched   uint64
+	BlocksWritten   uint64
+	SilenceBlocks   uint64
+	IdleTime        time.Duration
+	TransitionSteps uint64
+}
+
+// Manager is the Multimedia Storage Manager: it owns the disk, the
+// virtual clock, and the active request table, and services requests
+// in rounds of k blocks per request.
+type Manager struct {
+	d      *disk.Disk
+	clock  sim.Clock
+	adm    continuity.Admission
+	k      int
+	policy TransitionPolicy
+	// concurrency is the number of disk heads used in parallel per
+	// request (the paper's p); 1 for sequential/pipelined
+	// architectures.
+	concurrency int
+	order       ServiceOrder
+	reqs        []*request
+	nextID      RequestID
+	stats       Stats
+}
+
+// New creates a manager over the disk with the given admission
+// controller. Concurrency defaults to 1 head.
+func New(d *disk.Disk, adm continuity.Admission) *Manager {
+	return &Manager{d: d, adm: adm, k: 1, concurrency: 1, nextID: 1}
+}
+
+// SetPolicy selects the k-transition policy.
+func (m *Manager) SetPolicy(p TransitionPolicy) { m.policy = p }
+
+// SetServiceOrder selects the within-round service order.
+func (m *Manager) SetServiceOrder(o ServiceOrder) { m.order = o }
+
+// SetConcurrency sets the number of disk heads fetched in parallel per
+// request (clamped to the disk's head count).
+func (m *Manager) SetConcurrency(p int) {
+	if p < 1 {
+		p = 1
+	}
+	if p > m.d.Heads() {
+		p = m.d.Heads()
+	}
+	m.concurrency = p
+}
+
+// Now reports the current virtual time.
+func (m *Manager) Now() time.Duration { return m.clock.Now() }
+
+// K reports the current blocks-per-round.
+func (m *Manager) K() int { return m.k }
+
+// ForceK overrides the blocks-per-round; experiments use it to search
+// for the minimal feasible k independently of the admission formulas.
+func (m *Manager) ForceK(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.k = k
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Admission returns the admission controller in use.
+func (m *Manager) Admission() continuity.Admission { return m.adm }
+
+// admissionSet lists the requests currently counted by admission
+// control: active and non-destructively paused ones (their resources
+// remain allocated).
+func (m *Manager) admissionSet() []continuity.Request {
+	var out []continuity.Request
+	for _, r := range m.reqs {
+		if r.done {
+			continue
+		}
+		if r.pause != nil && r.pause.destructive {
+			continue
+		}
+		out = append(out, r.adm)
+	}
+	return out
+}
+
+// ActiveRequests reports how many requests admission control is
+// currently carrying.
+func (m *Manager) ActiveRequests() int { return len(m.admissionSet()) }
+
+// admit runs the admission decision and k transition for a candidate,
+// returning the decision. On acceptance the caller appends the request.
+func (m *Manager) admit(candidate continuity.Request) (continuity.Decision, error) {
+	dec := m.adm.Admit(m.admissionSet(), m.k, candidate)
+	if !dec.Admitted {
+		return dec, fmt.Errorf("%w: %s", ErrAdmissionRejected, dec.Reason)
+	}
+	switch m.policy {
+	case Stepwise:
+		// Larger k means larger rounds: renegotiate every stream's
+		// buffer grant to the §3.3.2 provisioning (2k for pipelined
+		// retrieval) before the transition rounds run, so the
+		// stepwise growth can actually accumulate the read-ahead
+		// each longer round needs.
+		if dec.K > m.k {
+			m.growPlayBuffers(2 * dec.K)
+		}
+		// One round at each intermediate k before the new request
+		// begins to be serviced (§3.4's transparent transition).
+		for _, step := range dec.Steps {
+			m.k = step
+			m.stats.TransitionSteps++
+			m.RunRound()
+		}
+	case NaiveJump:
+		if dec.K > m.k {
+			m.k = dec.K
+		}
+	}
+	if dec.K > m.k {
+		m.k = dec.K
+	}
+	return dec, nil
+}
+
+// growPlayBuffers raises every live play request's buffer grant to at
+// least n blocks.
+func (m *Manager) growPlayBuffers(n int) {
+	for _, r := range m.reqs {
+		if r.done || r.kind != Play {
+			continue
+		}
+		if r.play.plan.Buffers < n {
+			r.play.plan.Buffers = n
+		}
+	}
+}
+
+// AdmitPlay admits and registers a PLAY request. The request begins
+// receiving service in the next round.
+func (m *Manager) AdmitPlay(plan PlayPlan) (RequestID, continuity.Decision, error) {
+	if err := plan.Validate(); err != nil {
+		return 0, continuity.Decision{}, err
+	}
+	dec, err := m.admit(plan.Admission)
+	if err != nil {
+		return 0, dec, err
+	}
+	ra := plan.ReadAhead
+	if ra < 1 {
+		ra = 1
+	}
+	if ra > plan.Buffers {
+		ra = plan.Buffers
+	}
+	if ra > len(plan.Blocks) {
+		ra = len(plan.Blocks)
+	}
+	if m.policy == Stepwise && plan.Buffers < 2*m.k {
+		// The request joins a system already running at k; provision
+		// it for those rounds.
+		plan.Buffers = 2 * m.k
+	}
+	ps := &playState{plan: plan, readAhead: ra}
+	ps.deadlines = make([]time.Duration, len(plan.Blocks)+1)
+	var sum time.Duration
+	for i, b := range plan.Blocks {
+		ps.deadlines[i] = sum
+		sum += b.Duration
+	}
+	ps.deadlines[len(plan.Blocks)] = sum
+	r := &request{id: m.newID(), kind: Play, name: plan.Name, adm: plan.Admission, play: ps}
+	m.reqs = append(m.reqs, r)
+	return r.id, dec, nil
+}
+
+// AdmitRecord admits and registers a RECORD request. Capture starts
+// immediately (virtual now); the first block becomes writable one
+// block-duration later.
+func (m *Manager) AdmitRecord(plan RecordPlan) (RequestID, continuity.Decision, error) {
+	if err := plan.Validate(); err != nil {
+		return 0, continuity.Decision{}, err
+	}
+	dec, err := m.admit(plan.Admission)
+	if err != nil {
+		return 0, dec, err
+	}
+	blockDur := continuity.Duration(float64(plan.UnitsPerBlock) / plan.Source.Rate())
+	total := 0
+	if plan.TotalUnits > 0 {
+		total = int((plan.TotalUnits + uint64(plan.UnitsPerBlock) - 1) / uint64(plan.UnitsPerBlock))
+	}
+	rs := &recordState{plan: plan, start: m.clock.Now(), blockDur: blockDur, totalBlks: total}
+	r := &request{id: m.newID(), kind: Record, name: plan.Name, adm: plan.Admission, rec: rs}
+	m.reqs = append(m.reqs, r)
+	return r.id, dec, nil
+}
+
+func (m *Manager) newID() RequestID {
+	id := m.nextID
+	m.nextID++
+	return id
+}
+
+// find returns the request or an error.
+func (m *Manager) find(id RequestID) (*request, error) {
+	for _, r := range m.reqs {
+		if r.id == id {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("msm: unknown request %d", id)
+}
+
+// Stop halts a request (§4.1's STOP): a play request is dropped; a
+// record request stops capturing (the caller closes the writer). The
+// request leaves the admission set.
+func (m *Manager) Stop(id RequestID) error {
+	r, err := m.find(id)
+	if err != nil {
+		return err
+	}
+	r.done = true
+	return nil
+}
+
+// Pause suspends a request (§4.1): destructive pauses release the
+// request's admission slot (a later Resume re-runs admission);
+// non-destructive pauses keep resources allocated.
+func (m *Manager) Pause(id RequestID, destructive bool) error {
+	r, err := m.find(id)
+	if err != nil {
+		return err
+	}
+	if r.done {
+		return fmt.Errorf("msm: pause of finished request %d", id)
+	}
+	if r.pause != nil {
+		return fmt.Errorf("msm: request %d already paused", id)
+	}
+	r.pause = &pauseState{at: m.clock.Now(), destructive: destructive}
+	return nil
+}
+
+// Resume restarts a paused request, shifting its deadlines by the
+// pause duration. Resuming a destructively paused request re-runs
+// admission control and may be rejected.
+func (m *Manager) Resume(id RequestID) (continuity.Decision, error) {
+	r, err := m.find(id)
+	if err != nil {
+		return continuity.Decision{}, err
+	}
+	if r.pause == nil {
+		return continuity.Decision{}, fmt.Errorf("msm: resume of running request %d", id)
+	}
+	var dec continuity.Decision
+	if r.pause.destructive {
+		dec, err = m.admit(r.adm)
+		if err != nil {
+			return dec, err
+		}
+	}
+	shift := m.clock.Now() - r.pause.at
+	switch r.kind {
+	case Play:
+		if r.play.started {
+			r.play.startTime += shift
+		}
+	case Record:
+		r.rec.start += shift
+	}
+	r.pause = nil
+	return dec, nil
+}
+
+// SetBuffers renegotiates the number of display-device block buffers
+// of a play request. The MRS grows buffer grants when admission raises
+// k (the §3.3.2 provisioning rule ties buffering to k); shrinking
+// below the current occupancy is clamped at the next fetch rather than
+// discarding data.
+func (m *Manager) SetBuffers(id RequestID, buffers int) error {
+	r, err := m.find(id)
+	if err != nil {
+		return err
+	}
+	if r.kind != Play {
+		return fmt.Errorf("msm: SetBuffers on %v request %d", r.kind, id)
+	}
+	if buffers < 1 {
+		return fmt.Errorf("msm: SetBuffers(%d) on request %d", buffers, id)
+	}
+	r.play.plan.Buffers = buffers
+	return nil
+}
+
+// Violations returns the request's recorded continuity violations.
+func (m *Manager) Violations(id RequestID) ([]Violation, error) {
+	r, err := m.find(id)
+	if err != nil {
+		return nil, err
+	}
+	switch r.kind {
+	case Play:
+		return append([]Violation(nil), r.play.violations...), nil
+	default:
+		return append([]Violation(nil), r.rec.violations...), nil
+	}
+}
+
+// Progress summarizes the request's state.
+func (m *Manager) Progress(id RequestID) (Progress, error) {
+	r, err := m.find(id)
+	if err != nil {
+		return Progress{}, err
+	}
+	p := Progress{ID: r.id, Kind: r.kind, Name: r.name, Done: r.done, Paused: r.pause != nil}
+	switch r.kind {
+	case Play:
+		p.Violations = len(r.play.violations)
+		p.BlocksServed = r.play.nextFetch
+		p.BlocksTotal = len(r.play.plan.Blocks)
+		p.StartTime = r.play.startTime
+	default:
+		p.Violations = len(r.rec.violations)
+		p.BlocksServed = r.rec.nextWrite
+		p.BlocksTotal = r.rec.totalBlks
+		p.StartTime = r.rec.start
+	}
+	return p, nil
+}
+
+// active lists requests that can still need service.
+func (m *Manager) active() []*request {
+	var out []*request
+	for _, r := range m.reqs {
+		if !r.done && r.pause == nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RunRound services one round: each active request in turn receives up
+// to k blocks of transfer. If no request had work, the clock advances
+// to the next time one will. It reports false when no active request
+// remains.
+func (m *Manager) RunRound() bool {
+	act := m.active()
+	if len(act) == 0 {
+		return false
+	}
+	m.stats.Rounds++
+	if m.order == ScanOrder {
+		m.scanSort(act)
+	}
+	worked := false
+	for _, r := range act {
+		if m.serviceRequest(r, m.k) {
+			worked = true
+		}
+	}
+	if !worked {
+		next, ok := m.nextWorkTime()
+		if !ok {
+			// Requests remain (e.g. display draining) but the disk
+			// has nothing left to do for them; finish them.
+			m.finishDrained()
+			return len(m.active()) > 0
+		}
+		if next > m.clock.Now() {
+			m.stats.IdleTime += next - m.clock.Now()
+			m.clock.AdvanceTo(next)
+		}
+	}
+	m.finishDrained()
+	return true
+}
+
+// RunUntilDone services rounds until no active request remains. Paused
+// requests do not hold it open.
+func (m *Manager) RunUntilDone() {
+	for m.RunRound() {
+	}
+}
+
+// RunFor services rounds until the virtual clock passes the deadline
+// or no active request remains.
+func (m *Manager) RunFor(d time.Duration) {
+	deadline := m.clock.Now() + d
+	for m.clock.Now() < deadline {
+		if !m.RunRound() {
+			return
+		}
+	}
+}
+
+// finishDrained marks play requests done once fully fetched and record
+// requests done once their source is exhausted and flushed.
+func (m *Manager) finishDrained() {
+	for _, r := range m.reqs {
+		if r.done || r.pause != nil {
+			continue
+		}
+		switch r.kind {
+		case Play:
+			if r.play.nextFetch >= len(r.play.plan.Blocks) {
+				r.done = true
+			}
+		case Record:
+			if r.rec.exhausted {
+				r.done = true
+			}
+		}
+	}
+}
+
+// nextCylinder reports the disk cylinder the request's next transfer
+// touches; ok is false when it cannot be known (pure delays, record
+// requests, or nothing left).
+func (m *Manager) nextCylinder(r *request) (int, bool) {
+	if r.kind != Play {
+		return 0, false
+	}
+	ps := r.play
+	g := m.d.Geometry()
+	for j := ps.nextFetch; j < len(ps.plan.Blocks); j++ {
+		b := ps.plan.Blocks[j]
+		if b.Reader == nil {
+			continue
+		}
+		e, err := b.Reader.Strand().Block(b.Index)
+		if err != nil || e.Silent() {
+			continue
+		}
+		return g.CylinderOf(int(e.Sector)), true
+	}
+	return 0, false
+}
+
+// scanSort reorders the round's requests as a C-SCAN sweep: ascending
+// next-block cylinder starting from the head's current position,
+// wrapping. Requests without a known position keep their arrival order
+// at the end of the sweep.
+func (m *Manager) scanSort(act []*request) {
+	head := m.d.HeadCylinder(0)
+	nc := m.d.Geometry().Cylinders
+	keyOf := func(r *request) int {
+		cyl, ok := m.nextCylinder(r)
+		if !ok {
+			return 2 * nc // after every positioned request
+		}
+		d := cyl - head
+		if d < 0 {
+			d += nc
+		}
+		return d
+	}
+	sort.SliceStable(act, func(i, j int) bool { return keyOf(act[i]) < keyOf(act[j]) })
+}
+
+// serviceRequest transfers up to k blocks for the request; reports
+// whether any disk work happened.
+func (m *Manager) serviceRequest(r *request, k int) bool {
+	switch r.kind {
+	case Play:
+		return m.servicePlay(r, k)
+	default:
+		return m.serviceRecord(r, k)
+	}
+}
+
+// servicePlay fetches up to k blocks for a play request, respecting
+// the display-buffer regulation, recording arrival-vs-deadline
+// violations, and starting the display once the read-ahead is
+// satisfied. With concurrency p > 1, up to p blocks are fetched in
+// parallel on distinct heads, all arriving when the slowest completes.
+func (m *Manager) servicePlay(r *request, k int) bool {
+	ps := r.play
+	fetched := 0
+	for fetched < k {
+		if ps.nextFetch >= len(ps.plan.Blocks) {
+			break
+		}
+		if ps.started && m.occupancy(ps) >= ps.plan.Buffers {
+			break // regulation: never overflow the display subsystem
+		}
+		// Determine the parallel batch size.
+		batch := m.concurrency
+		if batch > k-fetched {
+			batch = k - fetched
+		}
+		if rem := len(ps.plan.Blocks) - ps.nextFetch; batch > rem {
+			batch = rem
+		}
+		if ps.started {
+			if room := ps.plan.Buffers - m.occupancy(ps); batch > room {
+				batch = room
+			}
+		}
+		var maxT time.Duration
+		first := ps.nextFetch
+		for i := 0; i < batch; i++ {
+			b := ps.plan.Blocks[first+i]
+			if b.Reader == nil {
+				// Pure delay block (an interval whose medium is
+				// absent): consumes playback time, no disk work.
+				continue
+			}
+			_, t, silent, err := b.Reader.ReadBlock(i%m.d.Heads(), b.Index)
+			if err != nil {
+				// A broken plan is a programming error in the layers
+				// above; record it as a violation at this block and
+				// stop the request.
+				ps.violations = append(ps.violations, Violation{Block: first + i, Deadline: m.clock.Now(), Actual: m.clock.Now()})
+				r.done = true
+				return true
+			}
+			if silent {
+				m.stats.SilenceBlocks++
+			}
+			if t > maxT {
+				maxT = t
+			}
+		}
+		m.clock.Advance(maxT)
+		arrival := m.clock.Now()
+		for i := 0; i < batch; i++ {
+			j := first + i
+			ps.nextFetch++
+			m.stats.BlocksFetched++
+			if ps.started {
+				if dl := ps.deadline(j); arrival > dl {
+					ps.violations = append(ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
+				}
+			}
+		}
+		ps.fetchDone = arrival
+		fetched += batch
+		if !ps.started && ps.nextFetch >= ps.readAhead {
+			ps.started = true
+			ps.startTime = arrival
+		}
+	}
+	return fetched > 0
+}
+
+// deadline is the display start time of plan block j.
+func (ps *playState) deadline(j int) time.Duration {
+	return ps.startTime + ps.deadlines[j]
+}
+
+// occupancy is the number of fetched blocks not yet fully displayed.
+func (m *Manager) occupancy(ps *playState) int {
+	if !ps.started {
+		return ps.nextFetch
+	}
+	elapsed := m.clock.Now() - ps.startTime
+	// Blocks are released when their display completes: block i at
+	// offset deadlines[i+1].
+	released := sort.Search(ps.nextFetch, func(i int) bool {
+		return ps.deadlines[i+1] > elapsed
+	})
+	return ps.nextFetch - released
+}
+
+// serviceRecord writes up to k captured blocks for a record request,
+// recording buffer-overflow violations.
+func (m *Manager) serviceRecord(r *request, k int) bool {
+	rs := r.rec
+	wrote := 0
+	for wrote < k {
+		if rs.exhausted {
+			break
+		}
+		if rs.totalBlks > 0 && rs.nextWrite >= rs.totalBlks {
+			rs.exhausted = true
+			break
+		}
+		// Block b completes capture at start + (b+1)·blockDur.
+		ready := rs.start + time.Duration(rs.nextWrite+1)*rs.blockDur
+		if m.clock.Now() < ready {
+			break // not yet captured
+		}
+		var flushTime time.Duration
+		full := true
+		for u := 0; u < rs.plan.UnitsPerBlock; u++ {
+			unit, ok := rs.plan.Source.Next()
+			if !ok {
+				full = false
+				break
+			}
+			t, err := rs.plan.Writer.Append(unit)
+			if err != nil {
+				rs.violations = append(rs.violations, Violation{Block: rs.nextWrite, Deadline: m.clock.Now(), Actual: m.clock.Now()})
+				rs.exhausted = true
+				return true
+			}
+			flushTime += t
+		}
+		if !full {
+			rs.exhausted = true
+			if rs.plan.Writer.UnitsWritten()%uint64(rs.plan.UnitsPerBlock) == 0 {
+				break // nothing partial pending
+			}
+		}
+		m.clock.Advance(flushTime)
+		finish := m.clock.Now()
+		// Overflow deadline: the capture device has Buffers block
+		// buffers, so block b must be on disk before block b+Buffers
+		// finishes capture.
+		dl := rs.start + time.Duration(rs.nextWrite+rs.plan.Buffers+1)*rs.blockDur
+		if finish > dl {
+			rs.violations = append(rs.violations, Violation{Block: rs.nextWrite, Deadline: dl, Actual: finish})
+		}
+		rs.nextWrite++
+		m.stats.BlocksWritten++
+		wrote++
+		if !full {
+			break
+		}
+	}
+	return wrote > 0
+}
+
+// nextWorkTime finds the earliest virtual time at which any active
+// request will have disk work; ok is false when none will.
+func (m *Manager) nextWorkTime() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	note := func(t time.Duration) {
+		if !found || t < best {
+			best, found = t, true
+		}
+	}
+	for _, r := range m.active() {
+		switch r.kind {
+		case Play:
+			ps := r.play
+			if ps.nextFetch >= len(ps.plan.Blocks) {
+				continue
+			}
+			if !ps.started || m.occupancy(ps) < ps.plan.Buffers {
+				note(m.clock.Now())
+				continue
+			}
+			// Next buffer release: the oldest unreleased block
+			// finishes display.
+			elapsed := m.clock.Now() - ps.startTime
+			released := sort.Search(ps.nextFetch, func(i int) bool {
+				return ps.deadlines[i+1] > elapsed
+			})
+			note(ps.startTime + ps.deadlines[released+1])
+		case Record:
+			rs := r.rec
+			if rs.exhausted || (rs.totalBlks > 0 && rs.nextWrite >= rs.totalBlks) {
+				continue
+			}
+			note(rs.start + time.Duration(rs.nextWrite+1)*rs.blockDur)
+		}
+	}
+	return best, found
+}

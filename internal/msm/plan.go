@@ -1,0 +1,292 @@
+package msm
+
+import (
+	"fmt"
+	"time"
+
+	"mmfs/internal/continuity"
+	"mmfs/internal/disk"
+	"mmfs/internal/media"
+	"mmfs/internal/strand"
+)
+
+// PlanOptions tune plan compilation.
+type PlanOptions struct {
+	// Buffers overrides the display device's block buffer count;
+	// 0 uses twice the read-ahead (the pipelined rule of §3.3.2).
+	Buffers int
+	// ReadAhead overrides the anti-jitter read-ahead in blocks;
+	// 0 uses k = 1 (strict continuity).
+	ReadAhead int
+	// Speed enables fast-forward (> 1) or slow motion (< 1);
+	// 0 means 1.
+	Speed float64
+	// Skip drops all but every ⌈Speed⌉-th block during fast-forward
+	// (§3.3.2: fast-forward "with skipping").
+	Skip bool
+	// Scattering overrides the admission-control scattering estimate
+	// for the strand; 0 measures the strand's realized maximum.
+	Scattering float64
+}
+
+// PlanStrandPlay compiles a whole-strand PLAY plan: one planned block
+// per media block, each with its recording-rate playback duration
+// (adjusted for fast-forward), plus the admission-control description
+// of the request.
+func PlanStrandPlay(d *disk.Disk, s *strand.Strand, opts PlanOptions) (PlayPlan, error) {
+	return PlanIntervalPlay(d, []IntervalRef{{Strand: s, StartUnit: 0, NumUnits: s.UnitCount()}}, opts)
+}
+
+// IntervalRef names a run of units within one strand; rope playback
+// compiles interval lists into plans with one IntervalRef per rope
+// interval. Edge blocks covered only partially contribute pro-rated
+// playback durations.
+type IntervalRef struct {
+	Strand    *strand.Strand
+	StartUnit uint64
+	NumUnits  uint64
+}
+
+// PlanIntervalPlay compiles a PLAY plan over a sequence of strand
+// intervals (the shape an edited rope produces). All intervals must
+// share one medium; the admission description uses the first strand's
+// parameters and the worst realized scattering across the intervals
+// (including the junction hops between intervals).
+func PlanIntervalPlay(d *disk.Disk, ivs []IntervalRef, opts PlanOptions) (PlayPlan, error) {
+	if len(ivs) == 0 {
+		return PlayPlan{}, fmt.Errorf("msm: empty interval list")
+	}
+	speed := opts.Speed
+	if speed == 0 {
+		speed = 1
+	}
+	skipStride := 1
+	if opts.Skip && speed > 1 {
+		skipStride = int(speed + 0.999999)
+	}
+
+	first := ivs[0].Strand
+	var blocks []PlannedBlock
+	var maxScatter time.Duration
+	for _, iv := range ivs {
+		s := iv.Strand
+		if s.Medium() != first.Medium() {
+			return PlayPlan{}, fmt.Errorf("msm: interval list mixes %v and %v strands", first.Medium(), s.Medium())
+		}
+		if iv.NumUnits == 0 {
+			continue
+		}
+		if iv.StartUnit+iv.NumUnits > s.UnitCount() {
+			return PlayPlan{}, fmt.Errorf("msm: interval [%d,%d) outside strand %d (%d units)",
+				iv.StartUnit, iv.StartUnit+iv.NumUnits, s.ID(), s.UnitCount())
+		}
+		r := strand.NewReader(d, s)
+		q := uint64(s.Granularity())
+		firstBlock := int(iv.StartUnit / q)
+		lastBlock := int((iv.StartUnit + iv.NumUnits - 1) / q)
+		for b := firstBlock; b <= lastBlock; b += skipStride {
+			// Units of this block that the interval actually covers.
+			blkLo := uint64(b) * q
+			blkHi := blkLo + q
+			lo := max64(blkLo, iv.StartUnit)
+			hi := min64(blkHi, iv.StartUnit+iv.NumUnits)
+			units := hi - lo
+			if opts.Skip && speed > 1 {
+				// Skipping: the retained block covers its whole
+				// stride's share of interval playback.
+				strideHi := blkLo + q*uint64(skipStride)
+				hi = min64(strideHi, iv.StartUnit+iv.NumUnits)
+				units = hi - lo
+			}
+			dur := continuity.Duration(float64(units) / s.Rate() / speed)
+			if dur <= 0 {
+				continue
+			}
+			blocks = append(blocks, PlannedBlock{Reader: r, Index: b, Duration: dur})
+		}
+		if st := s.MaxScatterTime(d.Geometry()); st > maxScatter {
+			maxScatter = st
+		}
+	}
+	// Junction hops between consecutive plan blocks from different
+	// strands also bound the request's scattering.
+	g := d.Geometry()
+	for i := 1; i < len(blocks); i++ {
+		a, b := blocks[i-1], blocks[i]
+		ea, erra := a.Reader.Strand().Block(a.Index)
+		eb, errb := b.Reader.Strand().Block(b.Index)
+		if erra != nil || errb != nil || ea.Silent() || eb.Silent() {
+			continue
+		}
+		dist := g.CylinderOf(int(eb.Sector)) - g.CylinderOf(int(ea.Sector))
+		if dist < 0 {
+			dist = -dist
+		}
+		if t := g.AccessTime(dist); t > maxScatter {
+			maxScatter = t
+		}
+	}
+	if len(blocks) == 0 {
+		return PlayPlan{}, fmt.Errorf("msm: interval list compiles to zero blocks")
+	}
+
+	lds := opts.Scattering
+	if lds == 0 {
+		lds = continuity.Seconds(maxScatter)
+	}
+	rate := first.Rate() * speed
+	if opts.Skip && speed > 1 {
+		rate = first.Rate() // skipping leaves the block arrival rate unchanged
+	}
+	ra := opts.ReadAhead
+	if ra < 1 {
+		ra = 1
+	}
+	buffers := opts.Buffers
+	if buffers == 0 {
+		buffers = 2 * ra
+	}
+	return PlayPlan{
+		Name:   fmt.Sprintf("play-strand-%d", first.ID()),
+		Blocks: blocks,
+		Admission: continuity.Request{
+			Name:        fmt.Sprintf("strand-%d", first.ID()),
+			Granularity: first.Granularity(),
+			UnitBits:    float64(first.UnitBits()),
+			Rate:        rate,
+			Scattering:  lds,
+		},
+		Buffers:   buffers,
+		ReadAhead: ra,
+	}, nil
+}
+
+// ExpandInterval compiles one strand unit-range into planned blocks at
+// normal speed, pro-rating edge blocks covered only partially. Rope
+// playback uses it to assemble multi-interval plans.
+func ExpandInterval(d *disk.Disk, s *strand.Strand, startUnit, numUnits uint64) ([]PlannedBlock, error) {
+	if numUnits == 0 {
+		return nil, nil
+	}
+	if startUnit+numUnits > s.UnitCount() {
+		return nil, fmt.Errorf("msm: interval [%d,%d) outside strand %d (%d units)",
+			startUnit, startUnit+numUnits, s.ID(), s.UnitCount())
+	}
+	r := strand.NewReader(d, s)
+	q := uint64(s.Granularity())
+	firstBlock := int(startUnit / q)
+	lastBlock := int((startUnit + numUnits - 1) / q)
+	var out []PlannedBlock
+	for b := firstBlock; b <= lastBlock; b++ {
+		blkLo := uint64(b) * q
+		lo := max64(blkLo, startUnit)
+		hi := min64(blkLo+q, startUnit+numUnits)
+		dur := continuity.Duration(float64(hi-lo) / s.Rate())
+		if dur <= 0 {
+			continue
+		}
+		out = append(out, PlannedBlock{Reader: r, Index: b, Duration: dur})
+	}
+	return out, nil
+}
+
+// MaxPlanScatter computes the worst inter-block positioning time over
+// a block sequence, including hops across strand boundaries; it is the
+// honest scattering estimate for admission control of compiled plans.
+func MaxPlanScatter(d *disk.Disk, blocks []PlannedBlock) time.Duration {
+	g := d.Geometry()
+	var maxT time.Duration
+	prevCyl := -1
+	for _, b := range blocks {
+		if b.Reader == nil {
+			continue
+		}
+		e, err := b.Reader.Strand().Block(b.Index)
+		if err != nil || e.Silent() {
+			continue
+		}
+		cyl := g.CylinderOf(int(e.Sector))
+		if prevCyl >= 0 {
+			if t := g.AccessTime(absInt(cyl - prevCyl)); t > maxT {
+				maxT = t
+			}
+		}
+		prevCyl = cyl
+	}
+	return maxT
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PlanBlocksPlay assembles a PlayPlan from an explicit block sequence
+// (the rope layer's compile target). The admission request supplies
+// granularity/rate/unit size; a zero Scattering is replaced by the
+// measured worst hop of the sequence.
+func PlanBlocksPlay(d *disk.Disk, name string, blocks []PlannedBlock, adm continuity.Request, opts PlanOptions) (PlayPlan, error) {
+	if len(blocks) == 0 {
+		return PlayPlan{}, fmt.Errorf("msm: plan %q compiles to zero blocks", name)
+	}
+	if adm.Scattering == 0 {
+		adm.Scattering = continuity.Seconds(MaxPlanScatter(d, blocks))
+	}
+	if opts.Scattering != 0 {
+		adm.Scattering = opts.Scattering
+	}
+	ra := opts.ReadAhead
+	if ra < 1 {
+		ra = 1
+	}
+	buffers := opts.Buffers
+	if buffers == 0 {
+		buffers = 2 * ra
+	}
+	return PlayPlan{
+		Name:      name,
+		Blocks:    blocks,
+		Admission: adm,
+		Buffers:   buffers,
+		ReadAhead: ra,
+	}, nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PlanRecord compiles a RECORD plan for a writer/source pair.
+// totalUnits of 0 records until the source is exhausted.
+func PlanRecord(name string, w *strand.Writer, src media.Source, unitsPerBlock int, totalUnits uint64, scattering float64, buffers int) RecordPlan {
+	if buffers < 1 {
+		buffers = 2
+	}
+	return RecordPlan{
+		Name:          name,
+		Writer:        w,
+		Source:        src,
+		UnitsPerBlock: unitsPerBlock,
+		TotalUnits:    totalUnits,
+		Admission: continuity.Request{
+			Name:        name,
+			Granularity: unitsPerBlock,
+			UnitBits:    float64(src.UnitBytes() * 8),
+			Rate:        src.Rate(),
+			Scattering:  scattering,
+		},
+		Buffers: buffers,
+	}
+}

@@ -1,0 +1,200 @@
+// Package msm implements the Multimedia Storage Manager — the lower
+// layer of the paper's prototype (§5.2): "determination of granularity
+// and scattering of strands, enforcing admission control to service
+// multiple requests simultaneously, and maintenance of scattering
+// while editing". It services the active requests in round-robin
+// rounds of k blocks each (§3.4) over the simulated disk and virtual
+// clock, detecting any continuity violation (a block arriving after
+// its playback deadline, or a recording buffer overflowing).
+package msm
+
+import (
+	"fmt"
+	"time"
+
+	"mmfs/internal/continuity"
+	"mmfs/internal/media"
+	"mmfs/internal/strand"
+)
+
+// RequestID names an active request; the file system hands it to
+// clients, which use it for STOP/PAUSE/RESUME (§4.1: "The file system
+// assigns a unique requestID to each request").
+type RequestID uint64
+
+// Kind distinguishes retrieval from storage requests.
+type Kind int
+
+const (
+	// Play is a retrieval (PLAY) request.
+	Play Kind = iota
+	// Record is a storage (RECORD) request.
+	Record
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Play {
+		return "play"
+	}
+	return "record"
+}
+
+// PlannedBlock is one media block in a playback plan. Plans are
+// compiled above the MSM (from a strand or from a rope's interval
+// list), so a single PLAY request may cross strand boundaries.
+type PlannedBlock struct {
+	// Reader retrieves the block; nil only for pure-delay blocks.
+	Reader *strand.Reader
+	// Index is the block number within the reader's strand.
+	Index int
+	// Duration is the block's playback duration on the display
+	// device.
+	Duration time.Duration
+}
+
+// PlayPlan is everything the MSM needs to service one PLAY request.
+type PlayPlan struct {
+	// Name labels the request in diagnostics.
+	Name string
+	// Blocks is the ordered block sequence to retrieve and display.
+	Blocks []PlannedBlock
+	// Admission describes the request to the admission controller.
+	Admission continuity.Request
+	// Buffers is the number of block buffers on the display device;
+	// the MSM never reads more than Buffers blocks ahead of the
+	// display (§3.4: regulation "so as not to overflow the buffering
+	// available in the display subsystem").
+	Buffers int
+	// ReadAhead is the number of blocks prefetched before playback
+	// starts (the anti-jitter delay of §3.3.1). It is clamped to
+	// Buffers and to the plan length.
+	ReadAhead int
+}
+
+// Validate reports an error for an unusable plan.
+func (p PlayPlan) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("msm: play plan %q has no blocks", p.Name)
+	}
+	if p.Buffers < 1 {
+		return fmt.Errorf("msm: play plan %q has %d buffers", p.Name, p.Buffers)
+	}
+	for i, b := range p.Blocks {
+		if b.Duration <= 0 {
+			return fmt.Errorf("msm: play plan %q block %d has duration %v", p.Name, i, b.Duration)
+		}
+	}
+	return p.Admission.Validate()
+}
+
+// RecordPlan is everything the MSM needs to service one RECORD
+// request.
+type RecordPlan struct {
+	// Name labels the request in diagnostics.
+	Name string
+	// Writer receives the captured units.
+	Writer *strand.Writer
+	// Source produces the units being recorded.
+	Source media.Source
+	// UnitsPerBlock is the storage granularity q.
+	UnitsPerBlock int
+	// TotalUnits bounds the recording; 0 records until the source
+	// ends.
+	TotalUnits uint64
+	// Admission describes the request to the admission controller.
+	Admission continuity.Request
+	// Buffers is the number of block buffers on the capture device;
+	// a block whose write has not completed by the time Buffers
+	// further blocks have been captured is an overflow violation.
+	Buffers int
+}
+
+// Validate reports an error for an unusable plan.
+func (p RecordPlan) Validate() error {
+	if p.Writer == nil || p.Source == nil {
+		return fmt.Errorf("msm: record plan %q missing writer or source", p.Name)
+	}
+	if p.UnitsPerBlock < 1 {
+		return fmt.Errorf("msm: record plan %q units/block %d", p.Name, p.UnitsPerBlock)
+	}
+	if p.Buffers < 1 {
+		return fmt.Errorf("msm: record plan %q has %d buffers", p.Name, p.Buffers)
+	}
+	return p.Admission.Validate()
+}
+
+// Violation records one continuity failure.
+type Violation struct {
+	// Block is the plan index (play) or block number (record).
+	Block int
+	// Deadline is when the block was needed (display start, or the
+	// capture buffer deadline).
+	Deadline time.Duration
+	// Actual is when the block actually arrived (read completed) or
+	// was written.
+	Actual time.Duration
+}
+
+// Lateness is how far past the deadline the block was.
+func (v Violation) Lateness() time.Duration { return v.Actual - v.Deadline }
+
+// request is the MSM's per-request state.
+type request struct {
+	id    RequestID
+	kind  Kind
+	name  string
+	adm   continuity.Request
+	play  *playState
+	rec   *recordState
+	done  bool
+	pause *pauseState
+}
+
+// playState tracks a PLAY request.
+type playState struct {
+	plan      PlayPlan
+	nextFetch int           // next plan index to read
+	started   bool          // playback (display) has begun
+	startTime time.Duration // display start
+	readAhead int
+	// deadlines[i] is the display start time of plan block i, filled
+	// as playback starts (and shifted by pauses).
+	deadlines  []time.Duration
+	violations []Violation
+	// fetchDone is when the last fetched block's read completed.
+	fetchDone time.Duration
+}
+
+// recordState tracks a RECORD request.
+type recordState struct {
+	plan       RecordPlan
+	start      time.Duration // capture start
+	blockDur   time.Duration
+	nextWrite  int // next block number to push to the writer
+	totalBlks  int // total blocks the source will produce
+	violations []Violation
+	exhausted  bool
+}
+
+// pauseState remembers a paused request.
+type pauseState struct {
+	at          time.Duration
+	destructive bool
+}
+
+// Progress summarizes a request for clients.
+type Progress struct {
+	ID         RequestID
+	Kind       Kind
+	Name       string
+	Done       bool
+	Paused     bool
+	Violations int
+	// BlocksServed is blocks fetched (play) or written (record).
+	BlocksServed int
+	// BlocksTotal is the plan length in blocks.
+	BlocksTotal int
+	// StartTime is when display/capture began (virtual time).
+	StartTime time.Duration
+}

@@ -1,0 +1,212 @@
+package rope
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mmfs/internal/strand"
+)
+
+// This file persists the rope registry: a compact little-endian binary
+// encoding of every rope's Figure 8 structure, written into the file
+// system's metadata region at sync time.
+
+const ropeTableMagic = 0x4d4d5254 // "MMRT"
+
+func putString(w *bytes.Buffer, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	w.Write(n[:])
+	w.WriteString(s)
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if int(n) > r.Len() {
+		return "", fmt.Errorf("rope: string length %d beyond buffer", n)
+	}
+	buf := make([]byte, n)
+	if _, err := r.Read(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func putStrings(w *bytes.Buffer, list []string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(list)))
+	w.Write(n[:])
+	for _, s := range list {
+		putString(w, s)
+	}
+}
+
+func getStrings(r *bytes.Reader) ([]string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := getString(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func putRef(w *bytes.Buffer, ref *ComponentRef) {
+	if ref == nil {
+		binary.Write(w, binary.LittleEndian, uint64(strand.Nil))
+		binary.Write(w, binary.LittleEndian, uint64(0))
+		return
+	}
+	binary.Write(w, binary.LittleEndian, uint64(ref.Strand))
+	binary.Write(w, binary.LittleEndian, ref.StartUnit)
+}
+
+func getRef(r *bytes.Reader) (*ComponentRef, error) {
+	var sid, start uint64
+	if err := binary.Read(r, binary.LittleEndian, &sid); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &start); err != nil {
+		return nil, err
+	}
+	if strand.ID(sid) == strand.Nil {
+		return nil, nil
+	}
+	return &ComponentRef{Strand: strand.ID(sid), StartUnit: start}, nil
+}
+
+// Marshal serializes the whole rope registry.
+func (s *Store) Marshal() []byte {
+	var w bytes.Buffer
+	binary.Write(&w, binary.LittleEndian, uint32(ropeTableMagic))
+	binary.Write(&w, binary.LittleEndian, uint64(s.nextID))
+	binary.Write(&w, binary.LittleEndian, uint32(len(s.ropes)))
+	for _, id := range s.IDs() {
+		r := s.ropes[id]
+		binary.Write(&w, binary.LittleEndian, uint64(r.ID))
+		putString(&w, r.Creator)
+		putStrings(&w, r.PlayAccess)
+		putStrings(&w, r.EditAccess)
+		binary.Write(&w, binary.LittleEndian, uint32(len(r.Intervals)))
+		for _, iv := range r.Intervals {
+			putRef(&w, iv.Video)
+			putRef(&w, iv.Audio)
+			binary.Write(&w, binary.LittleEndian, int64(iv.Duration))
+			binary.Write(&w, binary.LittleEndian, uint32(len(iv.Corr)))
+			for _, c := range iv.Corr {
+				binary.Write(&w, binary.LittleEndian, c.AudioBlock)
+				binary.Write(&w, binary.LittleEndian, c.VideoBlock)
+			}
+			binary.Write(&w, binary.LittleEndian, uint32(len(iv.Triggers)))
+			for _, t := range iv.Triggers {
+				binary.Write(&w, binary.LittleEndian, t.VideoBlock)
+				binary.Write(&w, binary.LittleEndian, t.AudioBlock)
+				putString(&w, t.Text)
+			}
+		}
+	}
+	return w.Bytes()
+}
+
+// Unmarshal restores the rope registry and rebuilds the interests
+// table.
+func (s *Store) Unmarshal(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != ropeTableMagic {
+		return fmt.Errorf("rope: bad table magic %#x", magic)
+	}
+	var next uint64
+	if err := binary.Read(r, binary.LittleEndian, &next); err != nil {
+		return err
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	s.ropes = make(map[ID]*Rope, count)
+	s.lastStrands = make(map[ID][]strand.ID, count)
+	s.nextID = ID(next)
+	for i := uint32(0); i < count; i++ {
+		var id uint64
+		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+			return err
+		}
+		rp := &Rope{ID: ID(id)}
+		var err error
+		if rp.Creator, err = getString(r); err != nil {
+			return err
+		}
+		if rp.PlayAccess, err = getStrings(r); err != nil {
+			return err
+		}
+		if rp.EditAccess, err = getStrings(r); err != nil {
+			return err
+		}
+		var nIv uint32
+		if err := binary.Read(r, binary.LittleEndian, &nIv); err != nil {
+			return err
+		}
+		rp.Intervals = make([]Interval, nIv)
+		for j := uint32(0); j < nIv; j++ {
+			iv := &rp.Intervals[j]
+			if iv.Video, err = getRef(r); err != nil {
+				return err
+			}
+			if iv.Audio, err = getRef(r); err != nil {
+				return err
+			}
+			var dur int64
+			if err := binary.Read(r, binary.LittleEndian, &dur); err != nil {
+				return err
+			}
+			iv.Duration = time.Duration(dur)
+			var nc uint32
+			if err := binary.Read(r, binary.LittleEndian, &nc); err != nil {
+				return err
+			}
+			iv.Corr = make([]Correspondence, nc)
+			for k := range iv.Corr {
+				if err := binary.Read(r, binary.LittleEndian, &iv.Corr[k].AudioBlock); err != nil {
+					return err
+				}
+				if err := binary.Read(r, binary.LittleEndian, &iv.Corr[k].VideoBlock); err != nil {
+					return err
+				}
+			}
+			var nt uint32
+			if err := binary.Read(r, binary.LittleEndian, &nt); err != nil {
+				return err
+			}
+			iv.Triggers = make([]Trigger, nt)
+			for k := range iv.Triggers {
+				if err := binary.Read(r, binary.LittleEndian, &iv.Triggers[k].VideoBlock); err != nil {
+					return err
+				}
+				if err := binary.Read(r, binary.LittleEndian, &iv.Triggers[k].AudioBlock); err != nil {
+					return err
+				}
+				if iv.Triggers[k].Text, err = getString(r); err != nil {
+					return err
+				}
+			}
+		}
+		s.ropes[rp.ID] = rp
+		s.SyncInterests(rp)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package rope
+
+import (
+	"fmt"
+	"time"
+
+	"mmfs/internal/continuity"
+	"mmfs/internal/disk"
+	"mmfs/internal/msm"
+	"mmfs/internal/strand"
+)
+
+// CompilePlay compiles one medium of a rope's [start, start+dur) range
+// into an MSM playback plan: one planned block per covered media
+// block, with pure-delay blocks standing in for intervals where the
+// medium is absent. Playing a whole multimedia rope issues one such
+// plan per medium, started simultaneously — the block-level
+// correspondence plus equal recording rates then keep the media in
+// sync (§4: "the block-level correspondence and the recording rate
+// information together maintain inter-media synchronization").
+func (s *Store) CompilePlay(d *disk.Disk, r *Rope, m Medium, start, dur time.Duration, opts msm.PlanOptions) (msm.PlayPlan, error) {
+	if m == AudioVisual {
+		return msm.PlayPlan{}, fmt.Errorf("rope: compile one medium at a time")
+	}
+	if err := r.validateRange(start, dur); err != nil {
+		return msm.PlayPlan{}, err
+	}
+	part, err := s.slice(r, m, start, dur)
+	if err != nil {
+		return msm.PlayPlan{}, err
+	}
+	var blocks []msm.PlannedBlock
+	var tmpl *strand.Strand
+	for _, iv := range part {
+		ref := iv.Component(m)
+		if ref == nil || ref.Strand == strand.Nil {
+			blocks = append(blocks, msm.PlannedBlock{Reader: nil, Duration: iv.Duration})
+			continue
+		}
+		st, ok := s.strands.Get(ref.Strand)
+		if !ok {
+			return msm.PlayPlan{}, fmt.Errorf("rope %d: unknown strand %d", r.ID, ref.Strand)
+		}
+		if tmpl == nil {
+			tmpl = st
+		}
+		units, err := s.unitsIn(ref, iv.Duration)
+		if err != nil {
+			return msm.PlayPlan{}, err
+		}
+		var avail uint64
+		if ref.StartUnit < st.UnitCount() {
+			avail = st.UnitCount() - ref.StartUnit
+		}
+		if units > avail {
+			units = avail
+		}
+		if units == 0 {
+			// Duration rounding can leave a sub-unit residue (or a
+			// ref exactly at the strand end); preserve the timing
+			// with a pure delay so later intervals keep their
+			// deadlines.
+			blocks = append(blocks, msm.PlannedBlock{Reader: nil, Duration: iv.Duration})
+			continue
+		}
+		expanded, err := msm.ExpandInterval(d, st, ref.StartUnit, units)
+		if err != nil {
+			return msm.PlayPlan{}, err
+		}
+		blocks = append(blocks, expanded...)
+	}
+	if tmpl == nil {
+		return msm.PlayPlan{}, fmt.Errorf("rope %d has no %v component in [%v, %v)", r.ID, m, start, start+dur)
+	}
+	adm := continuity.Request{
+		Name:        fmt.Sprintf("rope-%d-%v", r.ID, m),
+		Granularity: tmpl.Granularity(),
+		UnitBits:    float64(tmpl.UnitBits()),
+		Rate:        tmpl.Rate(),
+	}
+	return msm.PlanBlocksPlay(d, fmt.Sprintf("play-rope-%d-%v", r.ID, m), blocks, adm, opts)
+}
+
+// Components reports which media the rope actually contains.
+func (r *Rope) Components() (hasVideo, hasAudio bool) {
+	for i := range r.Intervals {
+		if r.Intervals[i].Video != nil {
+			hasVideo = true
+		}
+		if r.Intervals[i].Audio != nil {
+			hasAudio = true
+		}
+	}
+	return hasVideo, hasAudio
+}

@@ -1,0 +1,119 @@
+package rope
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mmfs/internal/strand"
+)
+
+// This file implements Figure 8's trigger information: "Text to be
+// synchronized with audio/video". A trigger names the video and audio
+// block numbers at which its text fires, exactly as the rope data
+// structure prescribes; playback-side tooling converts block numbers
+// back to offsets.
+
+// TriggerAt is a resolved trigger: text and the rope-relative time it
+// fires.
+type TriggerAt struct {
+	At   time.Duration
+	Text string
+}
+
+// AddTrigger attaches text at offset `at` of the rope, recording the
+// block-level positions of both media per Figure 8. Triggers are
+// stored on the interval containing the offset.
+func (s *Store) AddTrigger(r *Rope, at time.Duration, text string) error {
+	if at < 0 || at >= r.Length() {
+		return fmt.Errorf("rope %d: trigger at %v outside length %v", r.ID, at, r.Length())
+	}
+	var acc time.Duration
+	for i := range r.Intervals {
+		iv := &r.Intervals[i]
+		if at >= acc+iv.Duration {
+			acc += iv.Duration
+			continue
+		}
+		off := at - acc
+		trig := Trigger{Text: text}
+		blockAt := func(ref *ComponentRef) (uint32, error) {
+			if ref == nil || ref.Strand == strand.Nil {
+				return 0, nil
+			}
+			st, ok := s.strands.Get(ref.Strand)
+			if !ok {
+				return 0, fmt.Errorf("rope %d: unknown strand %d", r.ID, ref.Strand)
+			}
+			units, err := s.unitsIn(ref, off)
+			if err != nil {
+				return 0, err
+			}
+			return uint32((ref.StartUnit + units) / uint64(st.Granularity())), nil
+		}
+		var err error
+		if trig.VideoBlock, err = blockAt(iv.Video); err != nil {
+			return err
+		}
+		if trig.AudioBlock, err = blockAt(iv.Audio); err != nil {
+			return err
+		}
+		iv.Triggers = append(iv.Triggers, trig)
+		return nil
+	}
+	return fmt.Errorf("rope %d: trigger offset %v not located", r.ID, at)
+}
+
+// Triggers resolves every trigger of the rope to a rope-relative time,
+// sorted ascending. The resolution uses the video block number when
+// the interval has video, else the audio block number — the same
+// correspondence rule playback uses to fire synchronized text.
+func (s *Store) Triggers(r *Rope) ([]TriggerAt, error) {
+	var out []TriggerAt
+	var acc time.Duration
+	for i := range r.Intervals {
+		iv := &r.Intervals[i]
+		for _, trig := range iv.Triggers {
+			at, err := s.triggerOffset(iv, trig)
+			if err != nil {
+				return nil, fmt.Errorf("rope %d interval %d: %w", r.ID, i, err)
+			}
+			out = append(out, TriggerAt{At: acc + at, Text: trig.Text})
+		}
+		acc += iv.Duration
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+// triggerOffset converts a trigger's block position back to an offset
+// within the interval.
+func (s *Store) triggerOffset(iv *Interval, trig Trigger) (time.Duration, error) {
+	resolve := func(ref *ComponentRef, block uint32) (time.Duration, bool, error) {
+		if ref == nil || ref.Strand == strand.Nil {
+			return 0, false, nil
+		}
+		st, ok := s.strands.Get(ref.Strand)
+		if !ok {
+			return 0, false, fmt.Errorf("unknown strand %d", ref.Strand)
+		}
+		blockUnit := uint64(block) * uint64(st.Granularity())
+		if blockUnit < ref.StartUnit {
+			blockUnit = ref.StartUnit
+		}
+		secs := float64(blockUnit-ref.StartUnit) / st.Rate()
+		return time.Duration(secs * float64(time.Second)), true, nil
+	}
+	if at, ok, err := resolve(iv.Video, trig.VideoBlock); err != nil || ok {
+		return clampDur(at, iv.Duration), err
+	}
+	at, _, err := resolve(iv.Audio, trig.AudioBlock)
+	return clampDur(at, iv.Duration), err
+}
+
+func clampDur(d, max time.Duration) time.Duration {
+	if d > max {
+		return max
+	}
+	return d
+}

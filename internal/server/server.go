@@ -1,0 +1,657 @@
+// Package server implements the Multimedia Rope Server (MRS) network
+// front end: the device-independent layer of the paper's two-layer
+// architecture (§5.2), accepting rope operations over the wire
+// protocol and executing them against the core file system (which
+// embeds the device-specific Multimedia Storage Manager).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mmfs/internal/core"
+	"mmfs/internal/media"
+	"mmfs/internal/msm"
+	"mmfs/internal/rope"
+	"mmfs/internal/wire"
+)
+
+// mediaBuf accumulates one medium's units uploaded by a client before
+// RecordFinish replays them through the storage manager.
+type mediaBuf struct {
+	unitBytes int
+	rate      float64
+	units     []media.Unit
+}
+
+// recordSession is an in-progress client upload.
+type recordSession struct {
+	creator string
+	silence bool
+	hetero  bool
+	video   *mediaBuf
+	audio   *mediaBuf
+}
+
+// Server serves the MRS protocol over a listener. All file system
+// access is serialized: the simulated disk is single-ported and the
+// storage manager's virtual clock is global, exactly like the
+// prototype's single PC-AT storage manager.
+type Server struct {
+	mu       sync.Mutex
+	fs       *core.FS
+	sessions map[uint64]*recordSession
+	nextSess uint64
+
+	lis    net.Listener
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New creates a server over a mounted file system.
+func New(fs *core.FS) *Server {
+	return &Server{fs: fs, sessions: make(map[uint64]*recordSession), nextSess: 1}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF {
+				// Connection torn down mid-frame; nothing to do.
+				_ = err
+			}
+			return
+		}
+		op, body, err := wire.ParseRequest(frame)
+		var resp []byte
+		if err != nil {
+			resp = wire.ErrResponse(err)
+		} else if out, herr := s.handle(op, body); herr != nil {
+			resp = wire.ErrResponse(herr)
+		} else {
+			resp = wire.OKResponse(out)
+		}
+		if err := wire.WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request under the file system lock.
+func (s *Server) handle(op wire.Op, body []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := wire.NewDecoder(body)
+	var out []byte
+	var err error
+	switch op {
+	case wire.OpRecordStart:
+		out, err = s.recordStart(d)
+	case wire.OpRecordAppend:
+		out, err = s.recordAppend(d)
+	case wire.OpRecordFinish:
+		out, err = s.recordFinish(d)
+	case wire.OpPlay:
+		out, err = s.play(d)
+	case wire.OpFetch:
+		out, err = s.fetch(d)
+	case wire.OpInsert:
+		out, err = s.insert(d)
+	case wire.OpReplace:
+		out, err = s.replace(d)
+	case wire.OpSubstring:
+		out, err = s.substring(d)
+	case wire.OpConcate:
+		out, err = s.concate(d)
+	case wire.OpDeleteRange:
+		out, err = s.deleteRange(d)
+	case wire.OpDeleteRope:
+		out, err = s.deleteRope(d)
+	case wire.OpRopeInfo:
+		out, err = s.ropeInfo(d)
+	case wire.OpListRopes:
+		out, err = s.listRopes(d)
+	case wire.OpStats:
+		out, err = s.stats(d)
+	case wire.OpTextWrite:
+		out, err = s.textWrite(d)
+	case wire.OpTextRead:
+		out, err = s.textRead(d)
+	case wire.OpTextList:
+		out, err = s.textList(d)
+	case wire.OpSetAccess:
+		out, err = s.setAccess(d)
+	case wire.OpCheck:
+		out, err = s.check(d)
+	case wire.OpAddTrigger:
+		out, err = s.addTrigger(d)
+	case wire.OpTriggers:
+		out, err = s.triggers(d)
+	case wire.OpFlatten:
+		out, err = s.flatten(d)
+	default:
+		return nil, fmt.Errorf("server: unknown op %v", op)
+	}
+	if err == nil && d.Err() != nil {
+		err = fmt.Errorf("server: malformed %v request: %w", op, d.Err())
+	}
+	return out, err
+}
+
+// DecodeMedium maps the wire medium code to a rope selector.
+func DecodeMedium(code uint16) (rope.Medium, error) {
+	switch code {
+	case 0:
+		return rope.AudioVisual, nil
+	case 1:
+		return rope.VideoOnly, nil
+	case 2:
+		return rope.AudioOnly, nil
+	}
+	return 0, fmt.Errorf("server: unknown medium code %d", code)
+}
+
+// EncodeMedium maps a rope selector to its wire code.
+func EncodeMedium(m rope.Medium) uint16 {
+	switch m {
+	case rope.VideoOnly:
+		return 1
+	case rope.AudioOnly:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func (s *Server) recordStart(d *wire.Decoder) ([]byte, error) {
+	creator := d.Str()
+	hasVideo := d.Bool()
+	vUnitBytes := d.U32()
+	vRate := d.F64()
+	hasAudio := d.Bool()
+	aUnitBytes := d.U32()
+	aRate := d.F64()
+	silence := d.Bool()
+	hetero := d.Bool()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if !hasVideo && !hasAudio {
+		return nil, fmt.Errorf("server: RECORD needs at least one medium")
+	}
+	if hetero && (!hasVideo || !hasAudio) {
+		return nil, fmt.Errorf("server: heterogeneous RECORD needs both media")
+	}
+	sess := &recordSession{creator: creator, silence: silence, hetero: hetero}
+	if hasVideo {
+		sess.video = &mediaBuf{unitBytes: int(vUnitBytes), rate: vRate}
+	}
+	if hasAudio {
+		sess.audio = &mediaBuf{unitBytes: int(aUnitBytes), rate: aRate}
+	}
+	id := s.nextSess
+	s.nextSess++
+	s.sessions[id] = sess
+	return wire.NewEncoder().U64(id).Bytes(), nil
+}
+
+func (s *Server) recordAppend(d *wire.Decoder) ([]byte, error) {
+	id := d.U64()
+	mediumCode := d.U16()
+	count := d.U32()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown record session %d", id)
+	}
+	var buf *mediaBuf
+	switch mediumCode {
+	case 1:
+		buf = sess.video
+	case 2:
+		buf = sess.audio
+	default:
+		return nil, fmt.Errorf("server: append needs a single medium, got code %d", mediumCode)
+	}
+	if buf == nil {
+		return nil, fmt.Errorf("server: session %d does not record that medium", id)
+	}
+	for i := uint32(0); i < count; i++ {
+		payload := d.Blob()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if len(payload) != buf.unitBytes {
+			return nil, fmt.Errorf("server: unit of %d bytes, session expects %d", len(payload), buf.unitBytes)
+		}
+		buf.units = append(buf.units, media.Unit{Seq: uint64(len(buf.units)), Payload: payload})
+	}
+	return nil, nil
+}
+
+func (s *Server) recordFinish(d *wire.Decoder) ([]byte, error) {
+	id := d.U64()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown record session %d", id)
+	}
+	delete(s.sessions, id)
+	spec := core.RecordSpec{Creator: sess.creator, SilenceElimination: sess.silence, Heterogeneous: sess.hetero}
+	if sess.video != nil {
+		spec.Video = media.NewSliceSource(sess.video.units, sess.video.rate, sess.video.unitBytes)
+	}
+	if sess.audio != nil {
+		spec.Audio = media.NewSliceSource(sess.audio.units, sess.audio.rate, sess.audio.unitBytes)
+	}
+	rec, err := s.fs.Record(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.fs.Manager().RunUntilDone()
+	r, err := rec.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().U64(uint64(r.ID)).I64(int64(r.Length())).Bytes(), nil
+}
+
+func (s *Server) play(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	id := rope.ID(d.U64())
+	medium, err := DecodeMedium(d.U16())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Duration(d.I64())
+	dur := time.Duration(d.I64())
+	readAhead := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	h, err := s.fs.Play(user, id, medium, start, dur, msm.PlanOptions{ReadAhead: readAhead})
+	if err != nil {
+		return nil, err
+	}
+	s.fs.Manager().RunUntilDone()
+	violations, err := s.fs.PlayViolations(h)
+	if err != nil {
+		return nil, err
+	}
+	var blocks int
+	var startAt time.Duration
+	for _, req := range h.Requests() {
+		p, err := s.fs.Manager().Progress(req)
+		if err != nil {
+			return nil, err
+		}
+		blocks += p.BlocksServed
+		if p.StartTime > startAt {
+			startAt = p.StartTime
+		}
+	}
+	return wire.NewEncoder().U32(uint32(violations)).U32(uint32(blocks)).I64(int64(startAt)).Bytes(), nil
+}
+
+func (s *Server) fetch(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	id := rope.ID(d.U64())
+	medium, err := DecodeMedium(d.U16())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Duration(d.I64())
+	dur := time.Duration(d.I64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	units, err := s.fs.FetchUnits(user, id, medium, start, dur)
+	if err != nil {
+		return nil, err
+	}
+	e := wire.NewEncoder().U32(uint32(len(units)))
+	for _, u := range units {
+		e.Blob(u)
+	}
+	return e.Bytes(), nil
+}
+
+func (s *Server) insert(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	base := rope.ID(d.U64())
+	pos := time.Duration(d.I64())
+	medium, err := DecodeMedium(d.U16())
+	if err != nil {
+		return nil, err
+	}
+	with := rope.ID(d.U64())
+	wStart := time.Duration(d.I64())
+	wDur := time.Duration(d.I64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	res, err := s.fs.Insert(user, base, pos, medium, with, wStart, wDur)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().U32(uint32(res.CopiedBlocks())).Bytes(), nil
+}
+
+func (s *Server) replace(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	base := rope.ID(d.U64())
+	medium, err := DecodeMedium(d.U16())
+	if err != nil {
+		return nil, err
+	}
+	bStart := time.Duration(d.I64())
+	bDur := time.Duration(d.I64())
+	with := rope.ID(d.U64())
+	wStart := time.Duration(d.I64())
+	wDur := time.Duration(d.I64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	res, err := s.fs.Replace(user, base, medium, bStart, bDur, with, wStart, wDur)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().U32(uint32(res.CopiedBlocks())).Bytes(), nil
+}
+
+func (s *Server) substring(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	base := rope.ID(d.U64())
+	medium, err := DecodeMedium(d.U16())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Duration(d.I64())
+	dur := time.Duration(d.I64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	out, _, err := s.fs.Substring(user, base, medium, start, dur)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().U64(uint64(out.ID)).Bytes(), nil
+}
+
+func (s *Server) concate(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	r1 := rope.ID(d.U64())
+	r2 := rope.ID(d.U64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	out, res, err := s.fs.Concate(user, r1, r2)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().U64(uint64(out.ID)).U32(uint32(res.CopiedBlocks())).Bytes(), nil
+}
+
+func (s *Server) deleteRange(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	base := rope.ID(d.U64())
+	medium, err := DecodeMedium(d.U16())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Duration(d.I64())
+	dur := time.Duration(d.I64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	res, err := s.fs.DeleteRange(user, base, medium, start, dur)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().U32(uint32(res.CopiedBlocks())).Bytes(), nil
+}
+
+func (s *Server) deleteRope(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	id := rope.ID(d.U64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	reclaimed, err := s.fs.DeleteRope(user, id)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().U32(uint32(len(reclaimed))).Bytes(), nil
+}
+
+func (s *Server) ropeInfo(d *wire.Decoder) ([]byte, error) {
+	id := rope.ID(d.U64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	r, ok := s.fs.Ropes().Get(id)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown rope %d", id)
+	}
+	hasVideo, hasAudio := r.Components()
+	return wire.NewEncoder().
+		Str(r.Creator).
+		I64(int64(r.Length())).
+		U32(uint32(len(r.Intervals))).
+		Bool(hasVideo).
+		Bool(hasAudio).
+		U32(uint32(len(r.Strands()))).
+		Bytes(), nil
+}
+
+func (s *Server) listRopes(d *wire.Decoder) ([]byte, error) {
+	ids := s.fs.Ropes().IDs()
+	e := wire.NewEncoder().U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.U64(uint64(id))
+	}
+	return e.Bytes(), nil
+}
+
+func (s *Server) stats(d *wire.Decoder) ([]byte, error) {
+	st := s.fs.Manager().Stats()
+	return wire.NewEncoder().
+		F64(s.fs.Occupancy()).
+		U32(uint32(s.fs.Strands().Len())).
+		U32(uint32(s.fs.Ropes().Len())).
+		U64(st.Rounds).
+		U32(uint32(s.fs.Manager().K())).
+		U32(uint32(s.fs.Manager().ActiveRequests())).
+		Bytes(), nil
+}
+
+func (s *Server) textWrite(d *wire.Decoder) ([]byte, error) {
+	name := d.Str()
+	data := d.Blob()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if err := s.fs.Text().Write(name, data); err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (s *Server) textRead(d *wire.Decoder) ([]byte, error) {
+	name := d.Str()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	data, err := s.fs.Text().Read(name)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().Blob(data).Bytes(), nil
+}
+
+func (s *Server) setAccess(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	id := rope.ID(d.U64())
+	nPlay := d.U32()
+	play := make([]string, 0, nPlay)
+	for i := uint32(0); i < nPlay; i++ {
+		play = append(play, d.Str())
+	}
+	nEdit := d.U32()
+	edit := make([]string, 0, nEdit)
+	for i := uint32(0); i < nEdit; i++ {
+		edit = append(edit, d.Str())
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	r, ok := s.fs.Ropes().Get(id)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown rope %d", id)
+	}
+	if user != r.Creator {
+		return nil, fmt.Errorf("server: only the creator may change access lists of rope %d", id)
+	}
+	r.PlayAccess = play
+	r.EditAccess = edit
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (s *Server) addTrigger(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	id := rope.ID(d.U64())
+	at := time.Duration(d.I64())
+	text := d.Str()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if err := s.fs.AddTrigger(user, id, at, text); err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (s *Server) triggers(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	id := rope.ID(d.U64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	trigs, err := s.fs.Triggers(user, id)
+	if err != nil {
+		return nil, err
+	}
+	e := wire.NewEncoder().U32(uint32(len(trigs)))
+	for _, t := range trigs {
+		e.I64(int64(t.At))
+		e.Str(t.Text)
+	}
+	return e.Bytes(), nil
+}
+
+func (s *Server) flatten(d *wire.Decoder) ([]byte, error) {
+	user := d.Str()
+	id := rope.ID(d.U64())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	res, err := s.fs.Flatten(user, id)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	return wire.NewEncoder().U32(uint32(len(res.Reclaimed))).Bytes(), nil
+}
+
+func (s *Server) check(d *wire.Decoder) ([]byte, error) {
+	if err := s.fs.Sync(); err != nil {
+		return nil, err
+	}
+	problems := s.fs.Check()
+	e := wire.NewEncoder().U32(uint32(len(problems)))
+	for _, p := range problems {
+		e.Str(p.Kind)
+		e.Str(p.Detail)
+	}
+	return e.Bytes(), nil
+}
+
+func (s *Server) textList(d *wire.Decoder) ([]byte, error) {
+	names := s.fs.Text().List()
+	e := wire.NewEncoder().U32(uint32(len(names)))
+	for _, n := range names {
+		e.Str(n)
+	}
+	return e.Bytes(), nil
+}

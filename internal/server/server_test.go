@@ -1,0 +1,189 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"mmfs/internal/client"
+	"mmfs/internal/core"
+	"mmfs/internal/media"
+	"mmfs/internal/rope"
+)
+
+// startServer brings up a server on loopback and returns a connected
+// client.
+func startServer(t *testing.T) (*client.Client, *core.FS) {
+	c, fs, _ := startServerAddr(t)
+	return c, fs
+}
+
+// startServerAddr additionally exposes the listen address so tests can
+// open further connections.
+func startServerAddr(t *testing.T) (*client.Client, *core.FS, string) {
+	t.Helper()
+	fs, err := core.Format(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(fs)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(lis) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	c, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c, fs, lis.Addr().String()
+}
+
+func TestNetworkRecordPlayFetch(t *testing.T) {
+	c, _ := startServer(t)
+	video := media.NewVideoSource(60, 18000, 30, 9001)
+	audio := media.NewAudioSource(20, 800, 10, 0.3, 4, 9002)
+	id, length, err := c.RecordClip("venkat", video, audio, true)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if length != 2*time.Second {
+		t.Fatalf("length %v, want 2s", length)
+	}
+
+	info, err := c.Info(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasVideo || !info.HasAudio || info.Creator != "venkat" {
+		t.Fatalf("info %+v", info)
+	}
+
+	res, err := c.Play("venkat", id, rope.AudioVisual, 0, 0, 2)
+	if err != nil {
+		t.Fatalf("play: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("remote playback had %d violations", res.Violations)
+	}
+	if res.Blocks == 0 {
+		t.Fatal("remote playback retrieved no blocks")
+	}
+
+	// Fetch the video units back and verify payload integrity.
+	units, err := c.Fetch("venkat", id, rope.VideoOnly, 0, 0)
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if len(units) != 60 {
+		t.Fatalf("fetched %d units, want 60", len(units))
+	}
+	for i, u := range units {
+		if err := media.ValidateFrameSeq(u, uint64(i)); err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+	}
+}
+
+func TestNetworkEditingAndText(t *testing.T) {
+	c, _ := startServer(t)
+	r1, _, err := c.RecordClip("venkat", media.NewVideoSource(90, 18000, 30, 1), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := c.RecordClip("venkat", media.NewVideoSource(60, 18000, 30, 2), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Insert("venkat", r1, time.Second, rope.VideoOnly, r2, 0, time.Second); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	info, err := c.Info(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Length != 4*time.Second {
+		t.Fatalf("post-insert length %v, want 4s", info.Length)
+	}
+
+	sub, err := c.Substring("venkat", r1, rope.VideoOnly, 0, time.Second)
+	if err != nil {
+		t.Fatalf("substring: %v", err)
+	}
+	cat, _, err := c.Concate("venkat", sub, r2)
+	if err != nil {
+		t.Fatalf("concate: %v", err)
+	}
+	catInfo, err := c.Info(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catInfo.Length != 3*time.Second {
+		t.Fatalf("concat length %v, want 3s", catInfo.Length)
+	}
+
+	ids, err := c.ListRopes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("listed %d ropes, want 4", len(ids))
+	}
+
+	// Text files share the disk.
+	if err := c.TextWrite("README", []byte("media gaps hold text")); err != nil {
+		t.Fatalf("text write: %v", err)
+	}
+	data, err := c.TextRead("README")
+	if err != nil {
+		t.Fatalf("text read: %v", err)
+	}
+	if string(data) != "media gaps hold text" {
+		t.Fatalf("text round trip got %q", data)
+	}
+	names, err := c.TextList()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("text list %v, %v", names, err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ropes != 4 || st.Strands == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Access control crosses the wire.
+	if err := c.SetAccess("venkat", r1, []string{"harrick"}, []string{"harrick"}); err != nil {
+		t.Fatalf("set access: %v", err)
+	}
+	if _, err := c.Play("mallory", r1, rope.VideoOnly, 0, 0, 2); err == nil {
+		t.Fatal("expected access error for user outside PlayAccess")
+	}
+	if res, err := c.Play("harrick", r1, rope.VideoOnly, 0, 0, 2); err != nil {
+		t.Fatalf("play denied for listed user: %v", err)
+	} else if res.Violations != 0 {
+		t.Fatalf("playback had %d violations", res.Violations)
+	}
+	if err := c.SetAccess("mallory", r1, nil, nil); err == nil {
+		t.Fatal("non-creator changed access lists")
+	}
+}
+
+func TestNetworkCheck(t *testing.T) {
+	c, _ := startServer(t)
+	if _, _, err := c.RecordClip("venkat", media.NewVideoSource(30, 18000, 30, 77), nil, false); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := c.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("fsck over the wire found: %v", problems)
+	}
+}

@@ -1,0 +1,161 @@
+package strand
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mmfs/internal/disk"
+	"mmfs/internal/layout"
+)
+
+// SilenceFill is the payload byte used to reconstruct eliminated
+// silent blocks at playback: the 8-bit audio midpoint for audio, zero
+// for video (video strands never contain silence holders in practice).
+func SilenceFill(m layout.Medium) byte {
+	if m == layout.Audio {
+		return 128
+	}
+	return 0
+}
+
+// Reader retrieves a strand's media blocks from disk. Timed reads are
+// the continuity-bearing path used by the storage manager's service
+// rounds; untimed unit access serves verification and editing.
+type Reader struct {
+	s *Strand
+	d *disk.Disk
+}
+
+// NewReader creates a reader over the strand.
+func NewReader(d *disk.Disk, s *Strand) *Reader { return &Reader{s: s, d: d} }
+
+// Strand returns the strand being read.
+func (r *Reader) Strand() *Strand { return r.s }
+
+// ReadBlock performs the timed read of media block i by head h,
+// returning the block payload (trimmed to the real unit count for the
+// final partial block), the disk service time, and whether the block
+// was a silence holder (service time zero — a delay holder consumes
+// playback time but no disk time).
+func (r *Reader) ReadBlock(h, i int) (data []byte, t time.Duration, silent bool, err error) {
+	e, err := r.s.Block(i)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	n := r.blockPayloadBytes(i)
+	if e.Silent() {
+		buf := make([]byte, n)
+		fill := SilenceFill(r.s.Medium())
+		for j := range buf {
+			buf[j] = fill
+		}
+		return buf, 0, true, nil
+	}
+	raw, t, err := r.d.Read(h, int(e.Sector), int(e.SectorCount))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if r.s.Variable() {
+		// Variable-rate blocks are self-describing; return them raw.
+		return raw, t, false, nil
+	}
+	return raw[:n], t, false, nil
+}
+
+// PeekBlockTime reports the service time head h would pay to read
+// block i from its current position, without moving the head. Silence
+// holders cost zero.
+func (r *Reader) PeekBlockTime(h, i int) (time.Duration, error) {
+	e, err := r.s.Block(i)
+	if err != nil {
+		return 0, err
+	}
+	if e.Silent() {
+		return 0, nil
+	}
+	return r.d.PeekServiceTime(h, int(e.Sector), int(e.SectorCount)), nil
+}
+
+// blockPayloadBytes is the number of meaningful bytes in block i: a
+// full block for all but a trailing partial block.
+func (r *Reader) blockPayloadBytes(i int) int {
+	q := uint64(r.s.Granularity())
+	full := q * uint64(i)
+	remaining := r.s.UnitCount() - full
+	if remaining > q {
+		remaining = q
+	}
+	return int(remaining) * r.s.UnitBytes()
+}
+
+// Unit fetches one unit's payload by global unit number, untimed.
+// Units inside eliminated silent blocks come back as silence fill.
+func (r *Reader) Unit(u uint64) ([]byte, error) {
+	blk, off, err := r.s.UnitRange(u)
+	if err != nil {
+		return nil, err
+	}
+	e, err := r.s.Block(blk)
+	if err != nil {
+		return nil, err
+	}
+	ub := r.s.UnitBytes()
+	if e.Silent() {
+		buf := make([]byte, ub)
+		fill := SilenceFill(r.s.Medium())
+		for j := range buf {
+			buf[j] = fill
+		}
+		return buf, nil
+	}
+	raw, err := r.d.ReadAt(int(e.Sector), int(e.SectorCount))
+	if err != nil {
+		return nil, err
+	}
+	if r.s.Variable() {
+		return parseVariableUnit(raw, off, r.s.ID(), u)
+	}
+	lo := off * ub
+	if lo+ub > len(raw) {
+		return nil, fmt.Errorf("strand %d: unit %d beyond block payload", r.s.ID(), u)
+	}
+	return raw[lo : lo+ub], nil
+}
+
+// parseVariableUnit walks a variable-rate block's length-prefixed
+// units to the off-th one.
+func parseVariableUnit(raw []byte, off int, id ID, u uint64) ([]byte, error) {
+	o := 0
+	for i := 0; ; i++ {
+		if o+4 > len(raw) {
+			return nil, fmt.Errorf("strand %d: unit %d beyond variable block payload", id, u)
+		}
+		n := int(binary.LittleEndian.Uint32(raw[o:]))
+		o += 4
+		if o+n > len(raw) {
+			return nil, fmt.Errorf("strand %d: corrupt variable block (unit %d claims %d bytes)", id, u, n)
+		}
+		if i == off {
+			return raw[o : o+n], nil
+		}
+		o += n
+	}
+}
+
+// BlockPayload fetches the full payload of block i untimed; rope
+// editing uses it when copying blocks to fresh locations.
+func (r *Reader) BlockPayload(i int) ([]byte, bool, error) {
+	e, err := r.s.Block(i)
+	if err != nil {
+		return nil, false, err
+	}
+	if e.Silent() {
+		return nil, true, nil
+	}
+	raw, err := r.d.ReadAt(int(e.Sector), int(e.SectorCount))
+	if err != nil {
+		return nil, false, err
+	}
+	return raw, false, nil
+}

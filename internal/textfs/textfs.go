@@ -1,0 +1,237 @@
+// Package textfs implements conventional (non-real-time) file storage
+// inside the multimedia file system, realizing the paper's observation
+// that "a common file server can … integrate the functions of both a
+// conventional text file server and a multimedia file server by
+// employing constrained block allocation for (real-time) media
+// strands, and using the gaps between successive blocks of a media
+// strand to store text files" (§3).
+//
+// Text files use the allocator's unconstrained first-fit path, which
+// naturally lands in the gaps constrained media allocation leaves
+// between media blocks. Text reads and writes are untimed: they are
+// best-effort traffic with no continuity requirement.
+package textfs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"mmfs/internal/alloc"
+	"mmfs/internal/disk"
+)
+
+// file is one stored text file.
+type file struct {
+	name string
+	size int
+	runs []alloc.Run
+}
+
+// Store is a flat namespace of text files sharing the media
+// allocator.
+type Store struct {
+	d     *disk.Disk
+	a     *alloc.Allocator
+	files map[string]*file
+	// extentSectors caps each extent so files interleave with media
+	// gaps instead of demanding large contiguous runs.
+	extentSectors int
+}
+
+// NewStore creates an empty text-file store over the shared disk and
+// allocator.
+func NewStore(d *disk.Disk, a *alloc.Allocator) *Store {
+	return &Store{d: d, a: a, files: make(map[string]*file), extentSectors: 16}
+}
+
+// Write creates or replaces a file with the given contents.
+func (s *Store) Write(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("textfs: empty file name")
+	}
+	if old, ok := s.files[name]; ok {
+		s.release(old)
+		delete(s.files, name)
+	}
+	f := &file{name: name, size: len(data)}
+	ss := s.d.Geometry().SectorSize
+	remaining := data
+	for len(remaining) > 0 {
+		want := (len(remaining) + ss - 1) / ss
+		if want > s.extentSectors {
+			want = s.extentSectors
+		}
+		run, err := s.allocateExtent(want)
+		if err != nil {
+			s.release(f)
+			return err
+		}
+		n := run.Sectors * ss
+		if n > len(remaining) {
+			n = len(remaining)
+		}
+		if err := s.d.WriteAt(run.LBA, remaining[:n]); err != nil {
+			s.a.Free(run)
+			s.release(f)
+			return err
+		}
+		f.runs = append(f.runs, run)
+		remaining = remaining[n:]
+	}
+	s.files[name] = f
+	return nil
+}
+
+// allocateExtent gets up to want sectors, shrinking on fragmentation.
+func (s *Store) allocateExtent(want int) (alloc.Run, error) {
+	for n := want; n >= 1; n /= 2 {
+		if run, err := s.a.Allocate(n); err == nil {
+			return run, nil
+		}
+	}
+	return alloc.Run{}, fmt.Errorf("textfs: %w", alloc.ErrNoSpace)
+}
+
+// Read returns a file's contents.
+func (s *Store) Read(name string) ([]byte, error) {
+	f, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("textfs: no such file %q", name)
+	}
+	ss := s.d.Geometry().SectorSize
+	out := make([]byte, 0, f.size)
+	remaining := f.size
+	for _, run := range f.runs {
+		buf, err := s.d.ReadAt(run.LBA, run.Sectors)
+		if err != nil {
+			return nil, err
+		}
+		n := run.Sectors * ss
+		if n > remaining {
+			n = remaining
+		}
+		out = append(out, buf[:n]...)
+		remaining -= n
+	}
+	return out, nil
+}
+
+// Delete removes a file and frees its sectors.
+func (s *Store) Delete(name string) error {
+	f, ok := s.files[name]
+	if !ok {
+		return fmt.Errorf("textfs: no such file %q", name)
+	}
+	s.release(f)
+	delete(s.files, name)
+	return nil
+}
+
+func (s *Store) release(f *file) {
+	for _, run := range f.runs {
+		s.a.Free(run)
+	}
+	f.runs = nil
+}
+
+// Size reports a file's length in bytes.
+func (s *Store) Size(name string) (int, error) {
+	f, ok := s.files[name]
+	if !ok {
+		return 0, fmt.Errorf("textfs: no such file %q", name)
+	}
+	return f.size, nil
+}
+
+// List names all files, sorted.
+func (s *Store) List() []string {
+	out := make([]string, 0, len(s.files))
+	for n := range s.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of files.
+func (s *Store) Len() int { return len(s.files) }
+
+// Extents lists the disk runs backing a file; the integrity checker
+// uses it. An unknown name yields nil.
+func (s *Store) Extents(name string) []alloc.Run {
+	f, ok := s.files[name]
+	if !ok {
+		return nil
+	}
+	return append([]alloc.Run(nil), f.runs...)
+}
+
+const tableMagic = 0x4d4d5446 // "MMTF"
+
+// Marshal serializes the file table for the metadata region.
+func (s *Store) Marshal() []byte {
+	var w bytes.Buffer
+	binary.Write(&w, binary.LittleEndian, uint32(tableMagic))
+	binary.Write(&w, binary.LittleEndian, uint32(len(s.files)))
+	for _, name := range s.List() {
+		f := s.files[name]
+		binary.Write(&w, binary.LittleEndian, uint32(len(f.name)))
+		w.WriteString(f.name)
+		binary.Write(&w, binary.LittleEndian, uint64(f.size))
+		binary.Write(&w, binary.LittleEndian, uint32(len(f.runs)))
+		for _, r := range f.runs {
+			binary.Write(&w, binary.LittleEndian, uint32(r.LBA))
+			binary.Write(&w, binary.LittleEndian, uint32(r.Sectors))
+		}
+	}
+	return w.Bytes()
+}
+
+// Unmarshal restores the file table.
+func (s *Store) Unmarshal(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != tableMagic {
+		return fmt.Errorf("textfs: bad table magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	s.files = make(map[string]*file, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := r.Read(name); err != nil {
+			return err
+		}
+		var size uint64
+		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
+			return err
+		}
+		var nRuns uint32
+		if err := binary.Read(r, binary.LittleEndian, &nRuns); err != nil {
+			return err
+		}
+		f := &file{name: string(name), size: int(size)}
+		for j := uint32(0); j < nRuns; j++ {
+			var lba, sec uint32
+			if err := binary.Read(r, binary.LittleEndian, &lba); err != nil {
+				return err
+			}
+			if err := binary.Read(r, binary.LittleEndian, &sec); err != nil {
+				return err
+			}
+			f.runs = append(f.runs, alloc.Run{LBA: int(lba), Sectors: int(sec)})
+		}
+		s.files[f.name] = f
+	}
+	return nil
+}

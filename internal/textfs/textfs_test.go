@@ -1,0 +1,226 @@
+package textfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mmfs/internal/alloc"
+	"mmfs/internal/disk"
+)
+
+func newStore(t *testing.T) (*Store, *alloc.Allocator) {
+	t.Helper()
+	g := disk.Geometry{
+		Cylinders: 50, Surfaces: 2, SectorsPerTrack: 16, SectorSize: 512,
+		RPM: 3600, MinSeek: 2 * time.Millisecond, MaxSeek: 20 * time.Millisecond,
+	}
+	d := disk.MustNew(g)
+	a, err := alloc.New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStore(d, a), a
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s, _ := newStore(t)
+	data := []byte("the gaps between media blocks hold text files")
+	if err := s.Write("readme.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read("readme.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if n, err := s.Size("readme.txt"); err != nil || n != len(data) {
+		t.Fatalf("size %d err %v", n, err)
+	}
+}
+
+func TestMultiExtentFile(t *testing.T) {
+	s, _ := newStore(t)
+	// 40 KB forces multiple 16-sector extents at 512-byte sectors.
+	data := make([]byte, 40<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := s.Write("big", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-extent round trip mismatch")
+	}
+}
+
+func TestOverwriteReplacesAndFrees(t *testing.T) {
+	s, a := newStore(t)
+	if err := s.Write("f", make([]byte, 20<<10)); err != nil {
+		t.Fatal(err)
+	}
+	bigFree := a.FreeSectors()
+	if err := s.Write("f", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeSectors() <= bigFree {
+		t.Fatal("overwrite did not free the old extents")
+	}
+	got, _ := s.Read("f")
+	if string(got) != "tiny" {
+		t.Fatalf("content %q", got)
+	}
+}
+
+func TestDeleteFreesSectors(t *testing.T) {
+	s, a := newStore(t)
+	free := a.FreeSectors()
+	if err := s.Write("f", make([]byte, 8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeSectors() != free {
+		t.Fatal("delete leaked sectors")
+	}
+	if err := s.Delete("f"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, err := s.Read("f"); err == nil {
+		t.Fatal("read of deleted file accepted")
+	}
+}
+
+func TestEmptyFileAndEmptyName(t *testing.T) {
+	s, _ := newStore(t)
+	if err := s.Write("", []byte("x")); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := s.Write("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read("empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty file read %v %v", got, err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s, _ := newStore(t)
+	for _, n := range []string{"charlie", "alpha", "bravo"} {
+		if err := s.Write(n, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.List()
+	want := []string{"alpha", "bravo", "charlie"}
+	if len(got) != 3 {
+		t.Fatalf("list %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("list %v, want %v", got, want)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	s, a := newStore(t)
+	files := map[string][]byte{
+		"a.txt": []byte("alpha"),
+		"b.bin": make([]byte, 12<<10),
+		"c":     {},
+	}
+	rand.New(rand.NewSource(9)).Read(files["b.bin"])
+	for n, d := range files {
+		if err := s.Write(n, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := s.Marshal()
+
+	// Restore into a fresh store over the same disk/allocator.
+	s2 := NewStore(sDisk(s), a)
+	if err := s2.Unmarshal(data); err != nil {
+		t.Fatal(err)
+	}
+	for n, want := range files {
+		got, err := s2.Read(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("file %q differs after restore", n)
+		}
+	}
+	if err := s2.Unmarshal(data[:3]); err == nil {
+		t.Fatal("truncated table accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if err := s2.Unmarshal(bad); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+}
+
+// sDisk exposes the store's disk for the restore test.
+func sDisk(s *Store) *disk.Disk { return s.d }
+
+// Property: random write/overwrite/delete sequences never lose data:
+// reads always match the latest write.
+func TestTextFSQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := disk.Geometry{
+			Cylinders: 50, Surfaces: 2, SectorsPerTrack: 16, SectorSize: 512,
+			RPM: 3600, MinSeek: 2 * time.Millisecond, MaxSeek: 20 * time.Millisecond,
+		}
+		d := disk.MustNew(g)
+		a, err := alloc.New(g, 2)
+		if err != nil {
+			return false
+		}
+		s := NewStore(d, a)
+		rng := rand.New(rand.NewSource(seed))
+		shadow := make(map[string][]byte)
+		names := []string{"a", "b", "c", "d"}
+		for step := 0; step < 40; step++ {
+			n := names[rng.Intn(len(names))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				data := make([]byte, rng.Intn(4096))
+				rng.Read(data)
+				if err := s.Write(n, data); err != nil {
+					return false
+				}
+				shadow[n] = data
+			case 2:
+				if _, ok := shadow[n]; ok {
+					if err := s.Delete(n); err != nil {
+						return false
+					}
+					delete(shadow, n)
+				}
+			}
+		}
+		for n, want := range shadow {
+			got, err := s.Read(n)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return s.Len() == len(shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

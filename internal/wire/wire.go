@@ -1,0 +1,321 @@
+// Package wire defines the RPC protocol between the Multimedia Rope
+// Server (the device-independent layer clients link against via the
+// rope stub library) and the file system, mirroring the paper's
+// prototype in which "applications are compiled with a rope stub
+// library which uses remote procedure calls to contact the MRS"
+// (§5.2). The original ran over TCP/IP sockets between SPARCstations
+// and PC-ATs; this implementation speaks a length-prefixed binary
+// framing over any net.Conn.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Op identifies a request type.
+type Op uint16
+
+// Protocol operations (§4.1's interface plus housekeeping).
+const (
+	OpRecordStart Op = iota + 1
+	OpRecordAppend
+	OpRecordFinish
+	OpPlay
+	OpFetch
+	OpInsert
+	OpReplace
+	OpSubstring
+	OpConcate
+	OpDeleteRange
+	OpDeleteRope
+	OpRopeInfo
+	OpListRopes
+	OpStats
+	OpTextWrite
+	OpTextRead
+	OpTextList
+	OpSetAccess
+	OpCheck
+	OpAddTrigger
+	OpTriggers
+	OpFlatten
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpRecordStart:
+		return "RecordStart"
+	case OpRecordAppend:
+		return "RecordAppend"
+	case OpRecordFinish:
+		return "RecordFinish"
+	case OpPlay:
+		return "Play"
+	case OpFetch:
+		return "Fetch"
+	case OpInsert:
+		return "Insert"
+	case OpReplace:
+		return "Replace"
+	case OpSubstring:
+		return "Substring"
+	case OpConcate:
+		return "Concate"
+	case OpDeleteRange:
+		return "DeleteRange"
+	case OpDeleteRope:
+		return "DeleteRope"
+	case OpRopeInfo:
+		return "RopeInfo"
+	case OpListRopes:
+		return "ListRopes"
+	case OpStats:
+		return "Stats"
+	case OpTextWrite:
+		return "TextWrite"
+	case OpTextRead:
+		return "TextRead"
+	case OpTextList:
+		return "TextList"
+	case OpSetAccess:
+		return "SetAccess"
+	case OpCheck:
+		return "Check"
+	case OpAddTrigger:
+		return "AddTrigger"
+	case OpTriggers:
+		return "Triggers"
+	case OpFlatten:
+		return "Flatten"
+	}
+	return fmt.Sprintf("Op(%d)", uint16(o))
+}
+
+// maxFrame bounds a frame so a corrupt length prefix cannot force a
+// huge allocation.
+const maxFrame = 256 << 20
+
+// WriteFrame sends one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame receives one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Encoder builds a request or response body.
+type Encoder struct {
+	buf bytes.Buffer
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded body.
+func (e *Encoder) Bytes() []byte { return e.buf.Bytes() }
+
+// U16 appends a uint16.
+func (e *Encoder) U16(v uint16) *Encoder {
+	binary.Write(&e.buf, binary.LittleEndian, v)
+	return e
+}
+
+// U32 appends a uint32.
+func (e *Encoder) U32(v uint32) *Encoder {
+	binary.Write(&e.buf, binary.LittleEndian, v)
+	return e
+}
+
+// U64 appends a uint64.
+func (e *Encoder) U64(v uint64) *Encoder {
+	binary.Write(&e.buf, binary.LittleEndian, v)
+	return e
+}
+
+// I64 appends an int64 (durations in nanoseconds).
+func (e *Encoder) I64(v int64) *Encoder {
+	binary.Write(&e.buf, binary.LittleEndian, v)
+	return e
+}
+
+// F64 appends a float64.
+func (e *Encoder) F64(v float64) *Encoder {
+	binary.Write(&e.buf, binary.LittleEndian, v)
+	return e
+}
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) *Encoder {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf.WriteByte(b)
+	return e
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) *Encoder {
+	e.U32(uint32(len(s)))
+	e.buf.WriteString(s)
+	return e
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) *Encoder {
+	e.U32(uint32(len(b)))
+	e.buf.Write(b)
+	return e
+}
+
+// Decoder parses a request or response body; the first decode error
+// sticks and subsequent calls return zero values.
+type Decoder struct {
+	r   *bytes.Reader
+	err error
+}
+
+// NewDecoder wraps a body.
+func NewDecoder(body []byte) *Decoder { return &Decoder{r: bytes.NewReader(body)} }
+
+// Err reports the first decode error.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) read(v any) {
+	if d.err == nil {
+		d.err = binary.Read(d.r, binary.LittleEndian, v)
+	}
+}
+
+// U16 reads a uint16.
+func (d *Decoder) U16() uint16 { var v uint16; d.read(&v); return v }
+
+// U32 reads a uint32.
+func (d *Decoder) U32() uint32 { var v uint32; d.read(&v); return v }
+
+// U64 reads a uint64.
+func (d *Decoder) U64() uint64 { var v uint64; d.read(&v); return v }
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { var v int64; d.read(&v); return v }
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { var v float64; d.read(&v); return v }
+
+// Bool reads a bool.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = err
+		return false
+	}
+	return b != 0
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string { return string(d.Blob()) }
+
+// Blob reads a length-prefixed byte slice.
+func (d *Decoder) Blob() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if int(n) > d.r.Len() {
+		d.err = fmt.Errorf("wire: blob length %d beyond body", n)
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = err
+		return nil
+	}
+	return buf
+}
+
+// Request assembles an op + body into a frame payload.
+func Request(op Op, body []byte) []byte {
+	out := make([]byte, 2+len(body))
+	binary.LittleEndian.PutUint16(out, uint16(op))
+	copy(out[2:], body)
+	return out
+}
+
+// ParseRequest splits a frame payload into op + body.
+func ParseRequest(frame []byte) (Op, []byte, error) {
+	if len(frame) < 2 {
+		return 0, nil, fmt.Errorf("wire: request frame of %d bytes", len(frame))
+	}
+	return Op(binary.LittleEndian.Uint16(frame)), frame[2:], nil
+}
+
+// Response status codes.
+const (
+	StatusOK  uint16 = 0
+	StatusErr uint16 = 1
+)
+
+// OKResponse frames a successful response body.
+func OKResponse(body []byte) []byte {
+	out := make([]byte, 2+len(body))
+	binary.LittleEndian.PutUint16(out, StatusOK)
+	copy(out[2:], body)
+	return out
+}
+
+// ErrResponse frames an error response.
+func ErrResponse(err error) []byte {
+	msg := err.Error()
+	out := make([]byte, 2+4+len(msg))
+	binary.LittleEndian.PutUint16(out, StatusErr)
+	binary.LittleEndian.PutUint32(out[2:], uint32(len(msg)))
+	copy(out[6:], msg)
+	return out
+}
+
+// ParseResponse splits a response frame into body or error.
+func ParseResponse(frame []byte) ([]byte, error) {
+	if len(frame) < 2 {
+		return nil, fmt.Errorf("wire: response frame of %d bytes", len(frame))
+	}
+	status := binary.LittleEndian.Uint16(frame)
+	if status == StatusOK {
+		return frame[2:], nil
+	}
+	d := NewDecoder(frame[2:])
+	msg := d.Str()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: malformed error response")
+	}
+	return nil, fmt.Errorf("mmfs server: %s", msg)
+}

@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), make([]byte, 10000)}
+	rand.New(rand.NewSource(1)).Read(payloads[3])
+	for _, p := range payloads {
+		buf.Reset()
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatal("frame payload mismatch")
+		}
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge a length prefix beyond the limit.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestFrameShortRead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	short := bytes.NewReader(buf.Bytes()[:7])
+	if _, err := ReadFrame(short); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short frame error %v", err)
+	}
+}
+
+func TestEncoderDecoderSymmetry(t *testing.T) {
+	e := NewEncoder().
+		U16(7).U32(42).U64(1 << 40).I64(-5).F64(3.25).
+		Bool(true).Bool(false).
+		Str("strand").Blob([]byte{9, 8, 7})
+	d := NewDecoder(e.Bytes())
+	if d.U16() != 7 || d.U32() != 42 || d.U64() != 1<<40 || d.I64() != -5 || d.F64() != 3.25 {
+		t.Fatal("numeric round trip")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool round trip")
+	}
+	if d.Str() != "strand" || !bytes.Equal(d.Blob(), []byte{9, 8, 7}) {
+		t.Fatal("string/blob round trip")
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestDecoderErrorSticks(t *testing.T) {
+	d := NewDecoder([]byte{1})
+	_ = d.U32() // underflow
+	if d.Err() == nil {
+		t.Fatal("underflow not detected")
+	}
+	if d.U64() != 0 || d.Str() != "" || d.Blob() != nil || d.Bool() {
+		t.Fatal("post-error reads must return zero values")
+	}
+}
+
+func TestBlobLengthBeyondBody(t *testing.T) {
+	e := NewEncoder().U32(1000) // claims 1000 bytes, provides none
+	d := NewDecoder(e.Bytes())
+	if d.Blob() != nil || d.Err() == nil {
+		t.Fatal("over-long blob accepted")
+	}
+}
+
+func TestRequestResponseFraming(t *testing.T) {
+	req := Request(OpPlay, []byte("body"))
+	op, body, err := ParseRequest(req)
+	if err != nil || op != OpPlay || string(body) != "body" {
+		t.Fatalf("request parse: %v %v %q", err, op, body)
+	}
+	if _, _, err := ParseRequest([]byte{1}); err == nil {
+		t.Fatal("runt request accepted")
+	}
+
+	ok := OKResponse([]byte("result"))
+	body, err = ParseResponse(ok)
+	if err != nil || string(body) != "result" {
+		t.Fatalf("ok response: %v %q", err, body)
+	}
+	er := ErrResponse(errors.New("boom"))
+	if _, err = ParseResponse(er); err == nil || err.Error() != "mmfs server: boom" {
+		t.Fatalf("error response: %v", err)
+	}
+	if _, err := ParseResponse([]byte{0}); err == nil {
+		t.Fatal("runt response accepted")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{OpRecordStart, OpRecordAppend, OpRecordFinish, OpPlay, OpFetch,
+		OpInsert, OpReplace, OpSubstring, OpConcate, OpDeleteRange, OpDeleteRope,
+		OpRopeInfo, OpListRopes, OpStats, OpTextWrite, OpTextRead, OpTextList, OpSetAccess,
+		OpCheck, OpAddTrigger, OpTriggers, OpFlatten}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate op name %q", s)
+		}
+		seen[s] = true
+	}
+	if Op(999).String() != "Op(999)" {
+		t.Fatal("unknown op formatting")
+	}
+}
+
+// Property: any (string, blob, numbers) tuple survives an
+// encode/decode round trip.
+func TestCodecQuick(t *testing.T) {
+	f := func(s string, b []byte, u uint64, i int64, fl float64, tf bool) bool {
+		e := NewEncoder().Str(s).Blob(b).U64(u).I64(i).F64(fl).Bool(tf)
+		d := NewDecoder(e.Bytes())
+		gs := d.Str()
+		gb := d.Blob()
+		if gb == nil {
+			gb = []byte{}
+		}
+		want := b
+		if want == nil {
+			want = []byte{}
+		}
+		return gs == s && bytes.Equal(gb, want) && d.U64() == u && d.I64() == i &&
+			(d.F64() == fl || (fl != fl)) && d.Bool() == tf && d.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frames survive concatenated streams — multiple frames
+// written back to back read out in order.
+func TestFrameStreamQuick(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		var buf bytes.Buffer
+		var want [][]byte
+		for i := 0; i < n; i++ {
+			p := make([]byte, rng.Intn(256))
+			rng.Read(p)
+			want = append(want, p)
+			if err := WriteFrame(&buf, p); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			got, err := ReadFrame(&buf)
+			if err != nil || !bytes.Equal(got, want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
