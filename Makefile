@@ -1,0 +1,33 @@
+GO ?= go
+
+# Packages whose tests exercise real goroutine concurrency; the race
+# subset keeps CI latency down while still covering every mutex.
+RACE_PKGS = ./internal/server ./internal/msm ./internal/client
+
+.PHONY: all build test race lint fuzz clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# lint = the standard vet suite plus mmfsvet, the project's own
+# invariant checkers (see DESIGN.md "Invariants & static analysis").
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mmfsvet ./...
+
+# Short fuzz pass over the wire codec; lengthen -fuzztime locally.
+fuzz:
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=10s ./internal/wire
+
+clean:
+	$(GO) clean ./...

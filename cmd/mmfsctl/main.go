@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mmfsctl [-addr host:port] <command> [args]
+//	mmfsctl [-addr host:port] [-seed n] <command> [args]
 //
 // Commands:
 //
@@ -76,6 +76,7 @@ func die(err error) {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "mmfsd address")
 	user := flag.String("user", "operator", "user identity for access control")
+	seedFlag := flag.Int64("seed", 0, "deterministic seed for synthetic record sources (0 derives one from the current time)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -138,7 +139,10 @@ func main() {
 			}
 		}
 		var v, a media.Source
-		seed := time.Now().UnixNano()
+		seed := *seedFlag
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
 		if wantVideo {
 			v = media.NewVideoSource(30*seconds, 18000, 30, seed)
 		}

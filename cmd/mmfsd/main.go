@@ -56,6 +56,7 @@ func main() {
 	fmt.Printf("mmfsd: serving on %s\n", lis.Addr())
 
 	srv := server.New(fs)
+	srv.Logf = log.Printf
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -1,0 +1,189 @@
+// Package analysis is a small, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary, just large enough to
+// host the mmfsvet analyzers. The repo is deliberately stdlib-only, so
+// instead of vendoring x/tools the framework loads packages itself
+// (load.go) and hands each analyzer a Pass with parsed files and full
+// type information.
+//
+// Diagnostics can be suppressed with a directive comment
+//
+//	//lint:ignore <analyzer> reason
+//
+// placed either on the flagged line or on the line immediately above
+// it. The analyzer name "all" suppresses every analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import-path prefix of this repository's packages.
+// Analyzers use it to recognize first-party code.
+const ModulePath = "mmfs"
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// PathPrefixes restricts which packages the multichecker applies
+	// the analyzer to (matched as import-path prefixes at path-segment
+	// granularity). Empty means every package. Tests bypass it.
+	PathPrefixes []string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the multichecker should run the analyzer
+// over the package with the given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.PathPrefixes) == 0 {
+		return true
+	}
+	for _, p := range a.PathPrefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions of every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed sources, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types and objects for every expression.
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Analyzer names the check that produced it.
+	Analyzer string
+	// Message describes the violated invariant.
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
+
+// Run executes one analyzer over a loaded package and returns its
+// findings with //lint:ignore suppressions already applied.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	return Suppress(pkg.Fset, pkg.Files, pass.diagnostics), nil
+}
+
+// RunAll executes every applicable analyzer over every package and
+// returns the surviving findings sorted by position.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags, err := Run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	if fset != nil {
+		sort.SliceStable(all, func(i, j int) bool {
+			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return all[i].Analyzer < all[j].Analyzer
+		})
+	}
+	return all, nil
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)`)
+
+// Suppress drops diagnostics covered by //lint:ignore directives in
+// the given files. A directive on line L covers findings on line L
+// (trailing comment) and line L+1 (comment above the statement).
+func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	// ignored maps file name -> line -> analyzer names suppressed there.
+	ignored := make(map[string]map[int]map[string]bool)
+	add := func(pos token.Position, names string) {
+		byLine := ignored[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			ignored[pos.Filename] = byLine
+		}
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			set := byLine[line]
+			if set == nil {
+				set = make(map[string]bool)
+				byLine[line] = set
+			}
+			for _, n := range strings.Split(names, ",") {
+				set[strings.TrimSpace(n)] = true
+			}
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := ignoreRe.FindStringSubmatch(c.Text); m != nil {
+					add(fset.Position(c.Pos()), m[1])
+				}
+			}
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if set := ignored[pos.Filename][pos.Line]; set[d.Analyzer] || set["all"] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,182 @@
+// Package analysistest runs mmfsvet analyzers over fixture packages
+// under internal/analysis/testdata/src/<analyzer>/, mirroring
+// golang.org/x/tools/go/analysis/analysistest. Expected findings are
+// declared in the fixtures with trailing comments of the form
+//
+//	// want "regexp" "another regexp"
+//
+// Every diagnostic must match a want on its line and every want must
+// be matched by a diagnostic; //lint:ignore suppression is applied
+// before matching, so fixtures can also prove the escape hatch works.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"mmfs/internal/analysis"
+)
+
+var (
+	resolverOnce sync.Once
+	resolver     *analysis.Resolver
+	resolverErr  error
+)
+
+// sharedResolver builds one export-data resolver per test binary,
+// rooted at the module directory so fixtures may import any mmfs
+// package or stdlib dependency of the module.
+func sharedResolver() (*analysis.Resolver, error) {
+	resolverOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			resolverErr = fmt.Errorf("go env GOMOD: %w", err)
+			return
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == os.DevNull {
+			resolverErr = fmt.Errorf("analysistest must run inside the module")
+			return
+		}
+		resolver, resolverErr = analysis.NewResolver(filepath.Dir(gomod))
+	})
+	return resolver, resolverErr
+}
+
+// Run loads testdata/src/<analyzer name> as one fixture package, runs
+// the analyzer, and matches findings against the // want comments.
+// testdata is resolved relative to the calling test's directory, i.e.
+// internal/analysis/<name>/../testdata.
+func Run(t *testing.T, a *analysis.Analyzer) {
+	t.Helper()
+	r, err := sharedResolver()
+	if err != nil {
+		t.Fatalf("loading export data: %v", err)
+	}
+	dir := filepath.Join("..", "testdata", "src", a.Name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixtures: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := r.ParseFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixtures under %s", dir)
+	}
+	pkg, info, err := r.Check("mmfsvet/fixture/"+a.Name, files)
+	if err != nil {
+		t.Fatalf("type-checking fixtures: %v", err)
+	}
+	diags, err := analysis.Run(a, &analysis.Package{
+		Path:      pkg.Path(),
+		Dir:       dir,
+		Fset:      r.Fset(),
+		Files:     files,
+		Types:     pkg,
+		TypesInfo: info,
+	})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, files, r)
+	for _, d := range diags {
+		pos := r.Fset().Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected finding: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// want is one expected-diagnostic pattern.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// collectWants parses // want comments into per-line expectations.
+func collectWants(t *testing.T, files []*ast.File, r *analysis.Resolver) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := r.Fset().Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range parsePatterns(t, key, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns splits the tail of a want comment into its quoted
+// regexps; both "double" and `backtick` quoting are accepted.
+func parsePatterns(t *testing.T, key, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want comment near %q", key, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", key, s)
+		}
+		pats = append(pats, s[1:1+end])
+		s = s[2+end:]
+	}
+}
+
+// consumeWant marks the first unmatched want matching msg, reporting
+// whether one existed.
+func consumeWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory holding its sources.
+	Dir string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo records type information for every expression.
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+}
+
+// Resolver type-checks source files against export data produced by
+// the go toolchain, so analyzers see exactly the types the compiler
+// sees without re-checking the transitive dependency graph from
+// source.
+type Resolver struct {
+	fset     *token.FileSet
+	exports  map[string]string // import path -> export data file
+	packages map[string]*listPkg
+	importer types.Importer
+}
+
+// NewResolver runs `go list -export -deps -json` on the given patterns
+// in dir and returns a resolver covering the matched packages and
+// their whole dependency graph. go list compiles what it lists, so the
+// tree must build.
+func NewResolver(dir string, patterns ...string) (*Resolver, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	r := &Resolver{
+		fset:     token.NewFileSet(),
+		exports:  make(map[string]string),
+		packages: make(map[string]*listPkg),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		q := p
+		r.packages[p.ImportPath] = &q
+		if p.Export != "" {
+			r.exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := r.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	r.importer = importer.ForCompiler(r.fset, "gc", lookup)
+	return r, nil
+}
+
+// Fset returns the resolver's shared file set.
+func (r *Resolver) Fset() *token.FileSet { return r.fset }
+
+// ParseFile parses one source file with comments into the resolver's
+// file set.
+func (r *Resolver) ParseFile(path string) (*ast.File, error) {
+	return parser.ParseFile(r.fset, path, nil, parser.ParseComments)
+}
+
+// Check type-checks the given files as a package with the given import
+// path, resolving imports through export data.
+func (r *Resolver) Check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: r.importer}
+	pkg, err := conf.Check(path, r.fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// load parses and type-checks one listed package from source.
+func (r *Resolver) load(lp *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := r.ParseFile(filepath.Join(lp.Dir, name))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := r.Check(lp.ImportPath, files)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:      lp.ImportPath,
+		Dir:       lp.Dir,
+		Fset:      r.fset,
+		Files:     files,
+		Types:     pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Load lists the packages matching patterns in dir and returns the
+// first-party ones (this module, not stdlib) parsed and type-checked,
+// sorted by import path. Test files are not analyzed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	r, err := NewResolver(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*listPkg
+	for _, lp := range r.packages {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Module == nil || lp.Module.Path != ModulePath {
+			continue
+		}
+		targets = append(targets, lp)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	var pkgs []*Package
+	for _, lp := range targets {
+		p, err := r.load(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,185 @@
+// Package lockguard enforces the `// guarded by <mutex>` annotation
+// convention: a struct field carrying that comment may only be touched
+// by methods that visibly acquire the named mutex. The check is a
+// syntactic over-approximation — it looks for a <recv>.<mutex>.Lock()
+// or .RLock() call anywhere in the method body, it does not prove the
+// lock is held at the access. Methods that run with the lock already
+// held opt out by ending their name in "Locked" or by documenting
+// "must hold" in their doc comment; individual accesses can be
+// suppressed with //lint:ignore lockguard.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mmfs/internal/analysis"
+)
+
+// Analyzer flags accesses to `// guarded by mu` fields from methods
+// that do not visibly hold the mutex.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "flag reads/writes of struct fields annotated `// guarded by <mutex>` " +
+		"from methods that neither lock the mutex nor declare that the caller holds it",
+	Run: run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	// guards maps struct type name -> field name -> guarding mutex
+	// field name.
+	guards := make(map[string]map[string]string)
+	for _, f := range pass.Files {
+		collectGuards(f, guards)
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			checkMethod(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards records `// guarded by <mutex>` annotations on struct
+// fields declared in f.
+func collectGuards(f *ast.File, guards map[string]map[string]string) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				mutex := guardAnnotation(field)
+				if mutex == "" {
+					continue
+				}
+				byField := guards[ts.Name.Name]
+				if byField == nil {
+					byField = make(map[string]string)
+					guards[ts.Name.Name] = byField
+				}
+				for _, name := range field.Names {
+					byField[name.Name] = mutex
+				}
+			}
+		}
+	}
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or
+// trailing comment, or "" when the field is unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkMethod flags guarded-field accesses in one method.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, guards map[string]map[string]string) {
+	byField := guards[recvTypeName(fd)]
+	if byField == nil {
+		return
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	if fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "must hold") {
+		return
+	}
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return
+	}
+	recv := pass.TypesInfo.Defs[names[0]]
+	if recv == nil {
+		return
+	}
+
+	// held collects the mutexes for which the body contains a visible
+	// <recv>.<mutex>.Lock() or .RLock() call.
+	held := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := inner.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+			held[inner.Sel.Name] = true
+		}
+		return true
+	})
+
+	reported := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recv {
+			return true
+		}
+		mutex, guarded := byField[sel.Sel.Name]
+		if !guarded || held[mutex] || reported[sel.Sel.Name] {
+			return true
+		}
+		// Only flag real field accesses, not same-named methods.
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() != types.FieldVal {
+			return true
+		}
+		reported[sel.Sel.Name] = true
+		pass.Reportf(sel.Pos(), "%s accesses field %s (guarded by %s) without holding %s; lock it, suffix the method name with Locked, or document that the caller must hold it",
+			fd.Name.Name, sel.Sel.Name, mutex, mutex)
+		return true
+	})
+}
+
+// recvTypeName returns the bare type name of a method receiver,
+// stripping pointers and type parameters.
+func recvTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

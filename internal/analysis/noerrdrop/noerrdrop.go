@@ -1,0 +1,141 @@
+// Package noerrdrop flags silently discarded errors on first-party
+// code paths. A dropped error from the disk, allocator, or strand
+// layers can leave a strand index pointing at sectors that were never
+// written — the corruption only surfaces rounds later as a continuity
+// violation. Two shapes are flagged: an error value assigned to the
+// blank identifier (`_ = err`, `v, _ := f()`), and a bare call
+// statement to a first-party function whose results include an error.
+// Deliberate best-effort discards opt out with //lint:ignore
+// noerrdrop.
+package noerrdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mmfs/internal/analysis"
+)
+
+// Analyzer flags discarded errors in first-party packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "noerrdrop",
+	Doc: "flag errors discarded via the blank identifier or via bare calls " +
+		"to first-party functions returning an error",
+	PathPrefixes: []string{analysis.ModulePath + "/internal"},
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt, errType)
+			case *ast.ExprStmt:
+				checkBareCall(pass, stmt, errType)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags blank identifiers on the left-hand side whose
+// corresponding value is an error.
+func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt, errType types.Type) {
+	// Multi-value call: x, _ := f().
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		tuple, ok := pass.TypesInfo.Types[stmt.Rhs[0]].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(stmt.Lhs) {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && types.Identical(tuple.At(i).Type(), errType) {
+				pass.Reportf(lhs.Pos(), "result %d of %s is an error discarded via _; handle it or opt out with //lint:ignore noerrdrop", i+1, exprString(stmt.Rhs[0]))
+			}
+		}
+		return
+	}
+	// Pairwise: _ = err.
+	for i, lhs := range stmt.Lhs {
+		if i >= len(stmt.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		if t := pass.TypesInfo.Types[stmt.Rhs[i]].Type; t != nil && types.Identical(t, errType) {
+			pass.Reportf(lhs.Pos(), "error discarded via _; handle it or opt out with //lint:ignore noerrdrop")
+		}
+	}
+}
+
+// checkBareCall flags statement-level calls to first-party functions
+// whose result list includes an error.
+func checkBareCall(pass *analysis.Pass, stmt *ast.ExprStmt, errType types.Type) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := callee(pass.TypesInfo, call)
+	if fn == nil || !firstParty(pass, fn.Pkg()) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			pass.Reportf(call.Pos(), "call to %s discards its error result; handle it or opt out with //lint:ignore noerrdrop", fn.Name())
+			return
+		}
+	}
+}
+
+// callee resolves the static callee of a call, or nil for builtins,
+// conversions, and dynamic calls through function values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// firstParty reports whether pkg is the analyzed package itself or
+// another package of this module.
+func firstParty(pass *analysis.Pass, pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if pkg == pass.Pkg {
+		return true
+	}
+	return pkg.Path() == analysis.ModulePath ||
+		strings.HasPrefix(pkg.Path(), analysis.ModulePath+"/")
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exprString renders a short name for the flagged call.
+func exprString(e ast.Expr) string {
+	if call, ok := e.(*ast.CallExpr); ok {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			return fun.Name
+		case *ast.SelectorExpr:
+			return fun.Sel.Name
+		}
+	}
+	return "the call"
+}

@@ -1,0 +1,12 @@
+package noerrdrop_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/noerrdrop"
+)
+
+func TestNoErrDrop(t *testing.T) {
+	analysistest.Run(t, noerrdrop.Analyzer)
+}

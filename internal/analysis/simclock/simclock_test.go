@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/simclock"
+)
+
+func TestSimClock(t *testing.T) {
+	analysistest.Run(t, simclock.Analyzer)
+}

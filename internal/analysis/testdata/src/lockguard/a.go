@@ -1,0 +1,64 @@
+// Fixture for the lockguard analyzer: fields annotated
+// `// guarded by mu` may only be touched while the mutex is visibly
+// held, by a *Locked method, or by a method documenting that the
+// caller must hold it.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// total is the running sum.
+	// guarded by mu
+	total int
+	free  int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.total += c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `Bad accesses field n \(guarded by mu\) without holding mu`
+}
+
+func (c *counter) BadWrite(v int) {
+	c.total = v // want `BadWrite accesses field total \(guarded by mu\) without holding mu`
+}
+
+// bump adds delta to the counter. The caller must hold c.mu.
+func (c *counter) bump(delta int) { c.n += delta }
+
+func (c *counter) totalLocked() int { return c.total }
+
+func (c *counter) OkUnguarded() int { return c.free }
+
+func (c *counter) OkMethodCall() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump(1)
+}
+
+func (c *counter) Suppressed() int {
+	//lint:ignore lockguard fixture proves the escape hatch
+	return c.n
+}
+
+type rw struct {
+	mu   sync.RWMutex
+	data map[string]int // guarded by mu
+}
+
+func (r *rw) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.data[k]
+}
+
+func (r *rw) BadLen() int {
+	return len(r.data) // want `BadLen accesses field data \(guarded by mu\) without holding mu`
+}

@@ -1,0 +1,67 @@
+// Fixture for the noerrdrop analyzer: errors from first-party calls
+// must be handled, not blanked or dropped on the floor.
+package a
+
+import (
+	"fmt"
+	"io"
+
+	"mmfs/internal/wire"
+)
+
+func fail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func badBlankValue() {
+	err := fail()
+	_ = err // want `error discarded via _`
+}
+
+func badBlankResult() int {
+	n, _ := pair() // want `result 2 of pair is an error discarded via _`
+	return n
+}
+
+func badBareCall() {
+	fail() // want `call to fail discards its error result`
+}
+
+func badBareMethod(w *writerLike) {
+	w.flush() // want `call to flush discards its error result`
+}
+
+func badFirstPartyImport(w io.Writer) {
+	wire.WriteFrame(w, nil) // want `call to WriteFrame discards its error result`
+}
+
+type writerLike struct{}
+
+func (w *writerLike) flush() error { return nil }
+
+func okHandled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("n=%d", n)
+}
+
+func okNonError() {
+	n, _ := pairIntBool()
+	_ = n
+}
+
+func pairIntBool() (int, bool) { return 0, true }
+
+func okStdlib() {
+	fmt.Println("stdlib bare calls stay exempt")
+}
+
+func suppressed() {
+	//lint:ignore noerrdrop fixture proves the escape hatch
+	fail()
+}

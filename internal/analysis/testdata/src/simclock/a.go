@@ -1,0 +1,30 @@
+// Fixture for the simclock analyzer: simulation-driven code must not
+// read or wait on the wall clock; time.Duration arithmetic is fine.
+package a
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func badSince(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since reads the wall clock`
+}
+
+func okArithmetic(d time.Duration) time.Duration {
+	return d + 500*time.Millisecond
+}
+
+func okParse(s string) (time.Duration, error) {
+	return time.ParseDuration(s)
+}
+
+func suppressed() time.Time {
+	//lint:ignore simclock fixture proves the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,35 @@
+// Fixture for the unitsafety analyzer: raw float64<->time.Duration
+// conversions are unit bugs; the named Seconds/Duration converters and
+// integer conversions are not.
+package a
+
+import "time"
+
+func badToFloat(d time.Duration) float64 {
+	return float64(d) // want `converted directly to float64`
+}
+
+func badToDuration(s float64) time.Duration {
+	return time.Duration(s) // want `built directly from a float64`
+}
+
+func badBoth(d time.Duration, s float64) float64 {
+	return float64(d) + float64(time.Duration(s)) // want `converted directly to float64` `built directly from a float64` `converted directly to float64`
+}
+
+// Seconds is the sanctioned converter boundary and stays exempt.
+func Seconds(t time.Duration) float64 { return float64(t) }
+
+// Duration is the sanctioned converter boundary and stays exempt.
+func Duration(s float64) time.Duration { return time.Duration(s) }
+
+func okMethod(d time.Duration) float64 { return d.Seconds() }
+
+func okInteger(n int64) time.Duration { return time.Duration(n) }
+
+func okConst() time.Duration { return 3 * time.Second }
+
+func suppressed(d time.Duration) float64 {
+	//lint:ignore unitsafety fixture proves the escape hatch
+	return float64(d)
+}

@@ -1,0 +1,52 @@
+// Fixture for the wireswitch analyzer: switches over internal/wire
+// constant types must cover every declared constant; a default clause
+// does not excuse a missing opcode.
+package a
+
+import "mmfs/internal/wire"
+
+func full(op wire.Op) string {
+	switch op {
+	case wire.OpRecordStart, wire.OpRecordAppend, wire.OpRecordFinish:
+		return "record"
+	case wire.OpPlay, wire.OpFetch:
+		return "read"
+	case wire.OpInsert, wire.OpReplace, wire.OpSubstring, wire.OpConcate,
+		wire.OpDeleteRange, wire.OpDeleteRope, wire.OpFlatten:
+		return "edit"
+	case wire.OpRopeInfo, wire.OpListRopes, wire.OpStats, wire.OpCheck:
+		return "inspect"
+	case wire.OpTextWrite, wire.OpTextRead, wire.OpTextList:
+		return "text"
+	case wire.OpSetAccess, wire.OpAddTrigger, wire.OpTriggers:
+		return "meta"
+	default:
+		return "unknown"
+	}
+}
+
+func partial(op wire.Op) bool {
+	switch op { // want `switch over wire\.Op misses OpRecordAppend`
+	case wire.OpRecordStart:
+		return true
+	default:
+		return false
+	}
+}
+
+func overUint(code uint16) bool {
+	switch code { // not a wire named type: exempt
+	case 0:
+		return true
+	}
+	return false
+}
+
+func suppressed(op wire.Op) bool {
+	//lint:ignore wireswitch fixture proves the escape hatch
+	switch op {
+	case wire.OpPlay:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+// Package unitsafety flags conversions that mix the model's float64
+// seconds with the simulator's time.Duration nanoseconds. The paper's
+// continuity equations (Eqs. 1–18) are stated in seconds, the event
+// engine runs on time.Duration, and a raw conversion between the two
+// silently mixes units by a factor of 1e9. The only sanctioned
+// crossings are the continuity.Seconds and continuity.Duration
+// converters (internal/continuity/params.go).
+package unitsafety
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mmfs/internal/analysis"
+)
+
+// Analyzer flags direct float64 <-> time.Duration conversions outside
+// the blessed converter functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc: "flag raw float64<->time.Duration conversions that bypass " +
+		"continuity.Seconds/continuity.Duration and so conflate model " +
+		"seconds with nanoseconds",
+	PathPrefixes: []string{
+		analysis.ModulePath + "/internal/continuity",
+		analysis.ModulePath + "/internal/experiments",
+		analysis.ModulePath + "/internal/rope",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The converter functions themselves are the sanctioned
+			// unit boundary.
+			if fd.Recv == nil && (fd.Name.Name == "Seconds" || fd.Name.Name == "Duration") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[call.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				argT := pass.TypesInfo.Types[call.Args[0]].Type
+				if argT == nil {
+					return true
+				}
+				switch {
+				case isDuration(tv.Type) && isFloat(argT):
+					pass.Reportf(call.Pos(), "time.Duration built directly from a float64; model seconds must cross through continuity.Duration")
+				case isFloat(tv.Type) && isDuration(argT):
+					pass.Reportf(call.Pos(), "time.Duration converted directly to float64 (nanoseconds, not model seconds); use continuity.Seconds")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isDuration reports whether t is time.Duration.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// isFloat reports whether t is a float64 (or an untyped float
+// constant).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Float64 || b.Kind() == types.UntypedFloat
+}

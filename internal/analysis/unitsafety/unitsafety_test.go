@@ -1,0 +1,12 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/unitsafety"
+)
+
+func TestUnitSafety(t *testing.T) {
+	analysistest.Run(t, unitsafety.Analyzer)
+}

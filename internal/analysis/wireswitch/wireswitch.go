@@ -1,0 +1,113 @@
+// Package wireswitch keeps switches over internal/wire protocol
+// constants exhaustive. When a new opcode is added to the wire
+// protocol, every dispatch switch (the server's handler table, the
+// opcode stringer, ...) must either gain a case for it or carry an
+// explicit //lint:ignore wireswitch opt-out; a default clause does NOT
+// excuse a missing constant, because silently routing a new opcode to
+// the default arm is exactly the bug this check exists to catch.
+package wireswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mmfs/internal/analysis"
+)
+
+// wirePath is the package whose constant-typed switches must stay
+// exhaustive.
+const wirePath = analysis.ModulePath + "/internal/wire"
+
+// Analyzer flags non-exhaustive switches over internal/wire constant
+// types.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireswitch",
+	Doc: "flag switches over internal/wire opcode/message-type constants " +
+		"that do not cover every declared constant of the type",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagT := pass.TypesInfo.Types[sw.Tag].Type
+			named := wireNamedType(tagT)
+			if named == nil {
+				return true
+			}
+			missing := missingConstants(pass, sw, named)
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch over %s.%s misses %s; cover every constant or opt out with //lint:ignore wireswitch",
+					named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wireNamedType returns t as a named type declared in internal/wire,
+// or nil.
+func wireNamedType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != wirePath {
+		return nil
+	}
+	return named
+}
+
+// missingConstants returns the names of declared constants of typ that
+// no case clause of sw mentions, sorted by declaration value.
+func missingConstants(pass *analysis.Pass, sw *ast.SwitchStmt, typ *types.Named) []string {
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	scope := typ.Obj().Pkg().Scope()
+	type missing struct {
+		name string
+		val  constant.Value
+	}
+	var miss []missing
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), typ) {
+			continue
+		}
+		if !covered[c.Val().ExactString()] {
+			miss = append(miss, missing{name, c.Val()})
+		}
+	}
+	sort.Slice(miss, func(i, j int) bool {
+		vi, vj := miss[i].val, miss[j].val
+		if vi.Kind() == constant.Int && vj.Kind() == constant.Int {
+			return constant.Compare(vi, token.LSS, vj)
+		}
+		return miss[i].name < miss[j].name
+	})
+	names := make([]string, len(miss))
+	for i, m := range miss {
+		names[i] = m.name
+	}
+	return names
+}

@@ -1,0 +1,12 @@
+package wireswitch_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/wireswitch"
+)
+
+func TestWireSwitch(t *testing.T) {
+	analysistest.Run(t, wireswitch.Analyzer)
+}

@@ -17,7 +17,8 @@ import (
 // Client is a connection to an MRS server. Safe for concurrent use;
 // requests are serialized on the connection.
 type Client struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// conn carries one framed RPC at a time. guarded by mu
 	conn net.Conn
 }
 
@@ -34,7 +35,10 @@ func Dial(addr string) (*Client, error) {
 func NewFromConn(conn net.Conn) *Client { return &Client{conn: conn} }
 
 // Close tears the connection down.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	//lint:ignore lockguard Close must interrupt an in-flight call, so it bypasses mu; net.Conn.Close is safe concurrently
+	return c.conn.Close()
+}
 
 // call performs one RPC round trip.
 func (c *Client) call(op wire.Op, body []byte) (*wire.Decoder, error) {

@@ -1,0 +1,186 @@
+package client_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mmfs/internal/client"
+	"mmfs/internal/core"
+	"mmfs/internal/media"
+	"mmfs/internal/rope"
+	"mmfs/internal/server"
+)
+
+// startServer brings up a server on loopback and returns its address.
+func startServer(t *testing.T) string {
+	t.Helper()
+	fs, err := core.Format(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(fs)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(lis) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return lis.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// TestConcurrentSharedClient hammers one client from many goroutines.
+// The client serializes calls on its mutex, so every RPC must complete
+// without interleaving frames; run with -race to check the guard.
+func TestConcurrentSharedClient(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	id, _, err := c.RecordClip("t", media.NewVideoSource(30, 18000, 30, 1), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const callsEach = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					if _, err := c.Stats(); err != nil {
+						errs <- fmt.Errorf("stats: %w", err)
+						return
+					}
+				case 1:
+					info, err := c.Info(id)
+					if err != nil {
+						errs <- fmt.Errorf("info: %w", err)
+						return
+					}
+					if info.Length != time.Second {
+						errs <- fmt.Errorf("info length %v, want 1s", info.Length)
+						return
+					}
+				case 2:
+					ids, err := c.ListRopes()
+					if err != nil {
+						errs <- fmt.Errorf("list: %w", err)
+						return
+					}
+					if len(ids) == 0 {
+						errs <- fmt.Errorf("list returned no ropes")
+						return
+					}
+				case 3:
+					units, err := c.Fetch("t", id, rope.VideoOnly, 0, 0)
+					if err != nil {
+						errs <- fmt.Errorf("fetch: %w", err)
+						return
+					}
+					if len(units) != 30 {
+						errs <- fmt.Errorf("fetched %d units, want 30", len(units))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentConnections drives several independent connections at
+// once, exercising the server's session table under -race.
+func TestConcurrentConnections(t *testing.T) {
+	addr := startServer(t)
+	const conns = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			id, _, err := c.RecordClip("t", media.NewVideoSource(30, 18000, 30, int64(i+1)), nil, false)
+			if err != nil {
+				errs <- fmt.Errorf("conn %d record: %w", i, err)
+				return
+			}
+			res, err := c.Play("t", id, rope.VideoOnly, 0, 0, 2)
+			if err != nil {
+				errs <- fmt.Errorf("conn %d play: %w", i, err)
+				return
+			}
+			if res.Blocks == 0 {
+				errs <- fmt.Errorf("conn %d played no blocks", i)
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every connection's rope must have landed.
+	c := dial(t, addr)
+	ids, err := c.ListRopes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != conns {
+		t.Fatalf("listed %d ropes, want %d", len(ids), conns)
+	}
+}
+
+// TestCloseInterruptsCall covers the documented Close contract: closing
+// a client while another goroutine is mid-call must not race or hang.
+func TestCloseInterruptsCall(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := c.Stats(); err != nil {
+				return // connection closed under us, as intended
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("call still blocked 5s after Close")
+	}
+}

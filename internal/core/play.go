@@ -75,6 +75,7 @@ func (fs *FS) Play(user string, id rope.ID, m rope.Medium, start, dur time.Durat
 			if h.VideoReq != 0 {
 				// All-or-nothing: do not leave a half-admitted AV
 				// request consuming service rounds.
+				//lint:ignore noerrdrop best-effort rollback; the admission error takes precedence
 				_ = fs.mgr.Stop(h.VideoReq)
 			}
 			return PlayHandle{}, err

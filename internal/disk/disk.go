@@ -212,7 +212,10 @@ func (d *Disk) Read(h, lba, n int) ([]byte, time.Duration, error) {
 	t := d.serviceTime(h, lba, n, false)
 	d.stats.Reads++
 	d.stats.SectorsRead += uint64(n)
-	buf, _ := d.ReadAt(lba, n)
+	buf, err := d.ReadAt(lba, n)
+	if err != nil {
+		return nil, 0, err
+	}
 	return buf, t, nil
 }
 
@@ -225,7 +228,10 @@ func (d *Disk) ReadContiguous(h, lba, n int) ([]byte, time.Duration, error) {
 	t := d.serviceTime(h, lba, n, true)
 	d.stats.Reads++
 	d.stats.SectorsRead += uint64(n)
-	buf, _ := d.ReadAt(lba, n)
+	buf, err := d.ReadAt(lba, n)
+	if err != nil {
+		return nil, 0, err
+	}
 	return buf, t, nil
 }
 

@@ -169,7 +169,10 @@ func Transition() Result {
 		ids = append(ids, id)
 		mgr.RunUntilDone()
 		for _, rid := range ids {
-			v, _ := mgr.Violations(rid)
+			v, err := mgr.Violations(rid)
+			if err != nil {
+				panic(err)
+			}
 			violations += len(v)
 		}
 		return mgr.Stats().TransitionSteps - stepsBefore, violations

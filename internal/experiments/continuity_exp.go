@@ -268,7 +268,10 @@ func concurrentViolations(p, q, distLo, distHi int) int {
 		return -1
 	}
 	mgr.RunUntilDone()
-	v, _ := mgr.Violations(id)
+	v, err := mgr.Violations(id)
+	if err != nil {
+		panic(err)
+	}
 	return len(v)
 }
 
@@ -340,7 +343,11 @@ func E46MixedMedia() Result {
 			panic(err)
 		}
 		mgr.RunUntilDone()
-		trials[i].viol, _ = r.fs.PlayViolations(h)
+		viol, err := r.fs.PlayViolations(h)
+		if err != nil {
+			panic(err)
+		}
+		trials[i].viol = viol
 		trials[i].accesses = r.fs.Disk().Stats().Reads
 		trials[i].requests = len(h.Requests())
 	}
@@ -456,6 +463,9 @@ func (r *rig) playFF(s *strand.Strand, speed float64, skip bool) int {
 		return -1
 	}
 	mgr.RunUntilDone()
-	v, _ := mgr.Violations(id)
+	v, err := mgr.Violations(id)
+	if err != nil {
+		panic(err)
+	}
 	return len(v)
 }

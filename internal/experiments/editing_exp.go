@@ -71,7 +71,10 @@ func EditCopy() Result {
 			viol := -1
 			if err == nil {
 				mgr.RunUntilDone()
-				v, _ := mgr.Violations(id)
+				v, verr := mgr.Violations(id)
+				if verr != nil {
+					panic(verr)
+				}
 				viol = len(v)
 			}
 			res.AddRow(
@@ -100,7 +103,11 @@ func EditCopy() Result {
 // default device.
 func timeBounds() (sparse, dense int) {
 	r := newRig()
-	return r.fs.Editor().Bounds()
+	sparse, dense, err := r.fs.Editor().Bounds()
+	if err != nil {
+		panic(err)
+	}
+	return sparse, dense
 }
 
 // fillDisk raises disk occupancy to roughly the target fraction with
@@ -154,7 +161,10 @@ func Silence() Result {
 		s := r.fs.Strands().MustGet(rp.Intervals[0].Audio.Strand)
 		nulls := 0
 		for i := 0; i < s.NumBlocks(); i++ {
-			e, _ := s.Block(i)
+			e, err := s.Block(i)
+			if err != nil {
+				panic(err)
+			}
 			if e.Silent() {
 				nulls++
 			}
@@ -170,7 +180,10 @@ func Silence() Result {
 			panic(err)
 		}
 		r.fs.Manager().RunUntilDone()
-		viol, _ := r.fs.PlayViolations(h)
+		viol, err := r.fs.PlayViolations(h)
+		if err != nil {
+			panic(err)
+		}
 
 		saved := 0.0
 		if full > 0 {

@@ -239,7 +239,7 @@ func (r *rig) playStrands(strands []*strand.Strand, readAhead, buffers, forceK i
 func ms(sec float64) string { return fmt.Sprintf("%.2f", sec*1000) }
 
 // durMS formats a duration as milliseconds.
-func durMS(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond)) }
+func durMS(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()*1000) }
 
 func yesno(b bool) string {
 	if b {

@@ -201,7 +201,10 @@ func Scan() Result {
 		}
 		mgr.RunUntilDone()
 		for _, id := range ids {
-			v, _ := mgr.Violations(id)
+			v, err := mgr.Violations(id)
+			if err != nil {
+				panic(err)
+			}
 			viol += len(v)
 		}
 		dst := r.fs.Disk().Stats()

@@ -59,13 +59,19 @@ type JunctionReport struct {
 // editor's placement policy: l_lower is the minimum realizable access
 // time (adjacent-cylinder seek plus latency) and l_max_seek the
 // worst-case access.
-func (e *Editor) Bounds() (sparse, dense int) {
+func (e *Editor) Bounds() (sparse, dense int, err error) {
 	g := e.d.Geometry()
 	maxSeek := continuity.Seconds(g.MaxAccessTime())
 	lLower := continuity.Seconds(g.MinAccessTime())
-	sparse, _ = continuity.CopyBound(continuity.SparseDisk, maxSeek, lLower)
-	dense, _ = continuity.CopyBound(continuity.DenseDisk, maxSeek, lLower)
-	return sparse, dense
+	sparse, err = continuity.CopyBound(continuity.SparseDisk, maxSeek, lLower)
+	if err != nil {
+		return 0, 0, err
+	}
+	dense, err = continuity.CopyBound(continuity.DenseDisk, maxSeek, lLower)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sparse, dense, nil
 }
 
 // SmoothRope walks every junction of every medium in the rope and
@@ -173,7 +179,10 @@ func (e *Editor) smoothJunction(r *Rope, m Medium, i int) (JunctionReport, bool,
 	if firstNS < 0 {
 		return JunctionReport{}, false, nil // all silence
 	}
-	eFirst, _ := ns.Block(firstNS)
+	eFirst, err := ns.Block(firstNS)
+	if err != nil {
+		return JunctionReport{}, false, err
+	}
 	dist := absInt(g.CylinderOf(int(eFirst.Sector)) - cylA)
 	if dist <= e.MaxCylinders {
 		return JunctionReport{}, false, nil // within bounds already
@@ -213,7 +222,10 @@ func (e *Editor) smoothJunction(r *Rope, m Medium, i int) (JunctionReport, bool,
 			anchorCyl = -1
 			break
 		}
-		ea, _ := ns.Block(a)
+		ea, err := ns.Block(a)
+		if err != nil {
+			return JunctionReport{}, false, err
+		}
 		anchorCyl = g.CylinderOf(int(ea.Sector))
 		if copiedNS > 0 {
 			gap := int(math.Ceil(float64(absInt(anchorCyl-cylA)) / float64(copiedNS+1)))
@@ -296,7 +308,10 @@ func (e *Editor) smoothJunction(r *Rope, m Medium, i int) (JunctionReport, bool,
 	}
 	e.ropes.SyncInterests(r)
 
-	sparse, dense := e.Bounds()
+	sparse, dense, err := e.Bounds()
+	if err != nil {
+		return JunctionReport{}, false, err
+	}
 	return JunctionReport{
 		Medium:        m,
 		Interval:      i + 1,

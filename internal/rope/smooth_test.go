@@ -164,7 +164,10 @@ func TestSmoothedRopeCompilesAndBounds(t *testing.T) {
 func TestEditorBounds(t *testing.T) {
 	r := newRig(t)
 	ed := NewEditor(r.d, r.a, r.rs, 16)
-	s, d := ed.Bounds()
+	s, d, err := ed.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s < 1 || d < s {
 		t.Fatalf("bounds %d/%d", s, d)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"mmfs/internal/continuity"
 	"mmfs/internal/strand"
 )
 
@@ -102,7 +103,7 @@ func (s *Store) triggerOffset(iv *Interval, trig Trigger) (time.Duration, error)
 			blockUnit = ref.StartUnit
 		}
 		secs := float64(blockUnit-ref.StartUnit) / st.Rate()
-		return time.Duration(secs * float64(time.Second)), true, nil
+		return continuity.Duration(secs), true, nil
 	}
 	if at, ok, err := resolve(iv.Video, trig.VideoBlock); err != nil || ok {
 		return clampDur(at, iv.Duration), err

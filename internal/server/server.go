@@ -44,12 +44,17 @@ type recordSession struct {
 type Server struct {
 	mu       sync.Mutex
 	fs       *core.FS
-	sessions map[uint64]*recordSession
-	nextSess uint64
+	sessions map[uint64]*recordSession // guarded by mu
+	nextSess uint64                    // guarded by mu
 
-	lis    net.Listener
+	lis    net.Listener // guarded by mu
 	wg     sync.WaitGroup
-	closed bool
+	closed bool // guarded by mu
+
+	// Logf, when non-nil, receives operational log lines (abnormal
+	// connection teardown and the like). It must be set before Serve
+	// and is read without the lock thereafter.
+	Logf func(format string, args ...any)
 }
 
 // New creates a server over a mounted file system.
@@ -92,14 +97,22 @@ func (s *Server) Close() error {
 	return err
 }
 
+// logf writes one operational log line through Logf, if set.
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	for {
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
 			if err != io.EOF {
-				// Connection torn down mid-frame; nothing to do.
-				_ = err
+				// Connection torn down mid-frame: surface it so a
+				// misbehaving client or network is not silent.
+				s.logf("server: %v: reading frame: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
@@ -204,6 +217,7 @@ func EncodeMedium(m rope.Medium) uint16 {
 	}
 }
 
+// recordStart opens an upload session. The caller must hold s.mu.
 func (s *Server) recordStart(d *wire.Decoder) ([]byte, error) {
 	creator := d.Str()
 	hasVideo := d.Bool()
@@ -236,6 +250,7 @@ func (s *Server) recordStart(d *wire.Decoder) ([]byte, error) {
 	return wire.NewEncoder().U64(id).Bytes(), nil
 }
 
+// recordAppend buffers uploaded units. The caller must hold s.mu.
 func (s *Server) recordAppend(d *wire.Decoder) ([]byte, error) {
 	id := d.U64()
 	mediumCode := d.U16()
@@ -269,6 +284,8 @@ func (s *Server) recordAppend(d *wire.Decoder) ([]byte, error) {
 	return nil, nil
 }
 
+// recordFinish replays a session through the storage manager. The
+// caller must hold s.mu.
 func (s *Server) recordFinish(d *wire.Decoder) ([]byte, error) {
 	id := d.U64()
 	sess, ok := s.sessions[id]

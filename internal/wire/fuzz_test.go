@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzFrameRoundTrip checks that any payload surviving WriteFrame is
+// read back verbatim by ReadFrame.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add([]byte("a frame body"))
+	f.Add(bytes.Repeat([]byte{0xff}, 4096))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Skip() // only the >maxFrame guard can fire
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame after WriteFrame: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("frame round trip: wrote %d bytes, read %d", len(payload), len(got))
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader: it must
+// never panic nor hand back an oversized frame.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 0, 0, 'a', 'b', 'c', 'd'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		frame, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if len(frame) > maxFrame {
+			t.Fatalf("ReadFrame returned %d bytes, above the %d limit", len(frame), maxFrame)
+		}
+	})
+}
+
+// FuzzRequestRoundTrip checks Request/ParseRequest inversion and that
+// ParseRequest tolerates arbitrary input.
+func FuzzRequestRoundTrip(f *testing.F) {
+	f.Add(uint16(1), []byte("body"))
+	f.Add(uint16(0xffff), []byte(nil))
+	f.Fuzz(func(t *testing.T, op uint16, body []byte) {
+		gotOp, gotBody, err := ParseRequest(Request(Op(op), body))
+		if err != nil {
+			t.Fatalf("ParseRequest of a well-formed request: %v", err)
+		}
+		if gotOp != Op(op) || !bytes.Equal(gotBody, body) {
+			t.Fatalf("request round trip: op %v body %d bytes, got op %v body %d bytes",
+				Op(op), len(body), gotOp, len(gotBody))
+		}
+		// Arbitrary bytes must parse or error, never panic.
+		if _, _, err := ParseRequest(body); err == nil && len(body) < 2 {
+			t.Fatalf("ParseRequest accepted a %d-byte frame", len(body))
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip encodes one value of every wire primitive
+// and checks the decoder returns them bit-exactly, in order.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint32(2), uint64(3), int64(-4), 5.5, true, "six", []byte{7})
+	f.Add(uint16(0), uint32(0), uint64(0), int64(0), math.Inf(-1), false, "", []byte(nil))
+	f.Add(uint16(65535), uint32(1<<31), uint64(1)<<63, int64(math.MinInt64), math.NaN(), true, "µ†ƒ-8", bytes.Repeat([]byte{1}, 100))
+	f.Fuzz(func(t *testing.T, u16 uint16, u32 uint32, u64 uint64, i64 int64, f64 float64, b bool, s string, blob []byte) {
+		body := NewEncoder().
+			U16(u16).U32(u32).U64(u64).I64(i64).F64(f64).Bool(b).Str(s).Blob(blob).
+			Bytes()
+		d := NewDecoder(body)
+		if got := d.U16(); got != u16 {
+			t.Fatalf("U16: %d != %d", got, u16)
+		}
+		if got := d.U32(); got != u32 {
+			t.Fatalf("U32: %d != %d", got, u32)
+		}
+		if got := d.U64(); got != u64 {
+			t.Fatalf("U64: %d != %d", got, u64)
+		}
+		if got := d.I64(); got != i64 {
+			t.Fatalf("I64: %d != %d", got, i64)
+		}
+		if got := d.F64(); math.Float64bits(got) != math.Float64bits(f64) {
+			t.Fatalf("F64: %v != %v", got, f64)
+		}
+		if got := d.Bool(); got != b {
+			t.Fatalf("Bool: %v != %v", got, b)
+		}
+		if got := d.Str(); got != s {
+			t.Fatalf("Str: %q != %q", got, s)
+		}
+		if got := d.Blob(); !bytes.Equal(got, blob) {
+			t.Fatalf("Blob: %d bytes != %d bytes", len(got), len(blob))
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("decode error after full round trip: %v", err)
+		}
+	})
+}
+
+// FuzzDecoderRobustness drives every decoder accessor over arbitrary
+// bodies: the sticky-error contract must hold and nothing may panic.
+func FuzzDecoderRobustness(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(NewEncoder().Str("x").U64(9).Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		d := NewDecoder(body)
+		d.Str()
+		d.U16()
+		d.Blob()
+		d.F64()
+		d.Bool()
+		d.I64()
+		d.U32()
+		d.U64()
+		// An empty Str/Blob still costs its 4-byte length prefix.
+		if d.Err() == nil && len(body) < 4+2+4+8+1+8+4+8 {
+			t.Fatalf("decoder consumed more fields than %d bytes can hold", len(body))
+		}
+	})
+}
