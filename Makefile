@@ -4,7 +4,7 @@ GO ?= go
 # subset keeps CI latency down while still covering every mutex.
 RACE_PKGS = ./internal/server ./internal/msm ./internal/client
 
-.PHONY: all build test race lint fuzz clean
+.PHONY: all build test race lint bench fuzz clean
 
 all: build lint test
 
@@ -22,6 +22,12 @@ race:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/mmfsvet ./...
+
+# One pass over every benchmark (the experiment tables plus the
+# hot-path micros), archived as JSON for cross-commit diffing.
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x . | tee bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json < bench.out
 
 # Short fuzz pass over the wire codec; lengthen -fuzztime locally.
 fuzz:

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"mmfs/internal/alloc"
 	"mmfs/internal/continuity"
@@ -296,9 +297,12 @@ func BenchmarkRopePlanCompile(b *testing.B) {
 }
 
 // BenchmarkPlaybackRound measures one full 10-second playback
-// simulation (admission + service rounds + deadline accounting).
+// simulation (admission + service rounds + deadline accounting) and
+// reports the simulated disk work per play, so cache wins elsewhere
+// in the suite have a disk-bound baseline to compare against.
 func BenchmarkPlaybackRound(b *testing.B) {
 	fs, r := benchFS(b)
+	before := fs.Disk().Stats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mgr := fs.NewManager()
@@ -314,6 +318,77 @@ func BenchmarkPlaybackRound(b *testing.B) {
 		if v, _ := mgr.Violations(id); len(v) != 0 {
 			b.Fatal("violations in benchmark playback")
 		}
+	}
+	b.StopTimer()
+	after := fs.Disk().Stats()
+	b.ReportMetric(float64((after.BusyTime()-before.BusyTime()).Milliseconds())/float64(b.N), "disk_busy_ms/op")
+	b.ReportMetric(float64(after.Reads-before.Reads)/float64(b.N), "disk_blocks/op")
+}
+
+// BenchmarkCachedConcurrentPlayback plays one rope four times at once
+// (a leader plus three staggered followers), with and without the
+// interval cache, and reports how much disk work the cache removes at
+// an equal stream count.
+func BenchmarkCachedConcurrentPlayback(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		mb   int
+	}{{"cache", 16}, {"nocache", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var admitted, diskBlocks, hitPct float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fs, err := core.Format(core.Options{CacheMB: cfg.mb})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess, err := fs.Record(core.RecordSpec{
+					Creator: "bench",
+					Video:   media.NewVideoSource(300, 18000, 30, 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs.Manager().RunUntilDone()
+				r, err := sess.Finish()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				mgr := fs.NewManager()
+				before := fs.Disk().Stats()
+				var ids []msm.RequestID
+				for p := 0; p < 4; p++ {
+					plan, err := fs.Ropes().CompilePlay(fs.Disk(), r, rope.VideoOnly, 0, r.Length(), msm.PlanOptions{ReadAhead: 2})
+					if err != nil {
+						b.Fatal(err)
+					}
+					id, _, err := mgr.AdmitPlay(plan)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids = append(ids, id)
+					mgr.RunFor(400 * time.Millisecond)
+				}
+				mgr.RunUntilDone()
+				for _, id := range ids {
+					if v, _ := mgr.Violations(id); len(v) != 0 {
+						b.Fatal("violations in cached concurrent playback")
+					}
+				}
+				st := mgr.Stats()
+				after := fs.Disk().Stats()
+				admitted += float64(len(ids))
+				diskBlocks += float64(after.Reads - before.Reads)
+				if st.BlocksFetched > 0 {
+					hitPct += 100 * float64(st.CacheHits) / float64(st.BlocksFetched)
+				}
+			}
+			n := float64(b.N)
+			b.ReportMetric(admitted/n, "n_admitted")
+			b.ReportMetric(diskBlocks/n, "disk_blocks")
+			b.ReportMetric(hitPct/n, "cache_hit_pct")
+		})
 	}
 }
 

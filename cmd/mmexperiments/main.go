@@ -20,12 +20,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (f4, e1, e2, e3, e46, nmax, trans, edit, ra, sil, hdtv, ff, vbr, scan, reorg)")
+	exp := flag.String("exp", "", "run a single experiment (f4, e1, e2, e3, e46, nmax, trans, edit, ra, sil, hdtv, ff, vbr, scan, reorg, ic)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
 	if *list {
-		for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg"} {
+		for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic"} {
 			fmt.Println(id)
 		}
 		return

@@ -181,8 +181,12 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		fmt.Printf("played rope %d: %d blocks, startup %v, %d continuity violation(s)\n",
+		fmt.Printf("played rope %d: %d blocks, startup %v, %d continuity violation(s)",
 			id, res.Blocks, res.Startup, res.Violations)
+		if res.CacheHits > 0 {
+			fmt.Printf(", %d block(s) from cache", res.CacheHits)
+		}
+		fmt.Println()
 	case "insert":
 		if len(args) != 7 {
 			usage()
@@ -340,6 +344,10 @@ func main() {
 		}
 		fmt.Printf("occupancy:       %.1f%%\nstrands:         %d\nropes:           %d\nservice rounds:  %d\nk (blocks/round): %d\nactive requests: %d\n",
 			st.Occupancy*100, st.Strands, st.Ropes, st.Rounds, st.K, st.ActiveRequests)
+		if st.CacheCapacity > 0 {
+			fmt.Printf("cache:           %d/%d KiB, %d interval(s), %d cache-served play(s), %d hit(s)\n",
+				st.CacheBytes>>10, st.CacheCapacity>>10, st.CacheIntervals, st.CacheServed, st.CacheHits)
+		}
 	case "text-put":
 		if len(args) < 3 {
 			usage()

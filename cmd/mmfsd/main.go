@@ -28,6 +28,7 @@ func main() {
 		rpm       = flag.Float64("rpm", 3600, "spindle speed")
 		heads     = flag.Int("heads", 1, "independent head assemblies (degree of concurrency)")
 		target    = flag.Int("target-cylinders", 32, "placement policy: max cylinders between successive strand blocks")
+		cachemb   = flag.Int("cachemb", 0, "interval cache size in MiB (0 disables caching)")
 	)
 	flag.Parse()
 
@@ -41,13 +42,16 @@ func main() {
 		MaxSeek:         30 * time.Millisecond,
 		Heads:           *heads,
 	}
-	fs, err := core.Format(core.Options{Geometry: g, TargetCylinders: *target})
+	fs, err := core.Format(core.Options{Geometry: g, TargetCylinders: *target, CacheMB: *cachemb})
 	if err != nil {
 		log.Fatalf("mmfsd: format: %v", err)
 	}
 	dev := fs.Device()
 	fmt.Printf("mmfsd: %d MB disk, r_dt %.1f Mbit/s, l_max_seek %.1f ms, placement ≤ %d cylinders\n",
 		g.CapacityBytes()>>20, dev.TransferRate/1e6, dev.MaxAccess*1000, *target)
+	if *cachemb > 0 {
+		fmt.Printf("mmfsd: interval cache %d MiB (trailing plays of a rope are served from memory)\n", *cachemb)
+	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -39,6 +39,7 @@ var Analyzer = &analysis.Analyzer{
 		analysis.ModulePath + "/internal/msm",
 		analysis.ModulePath + "/internal/server",
 		analysis.ModulePath + "/internal/core",
+		analysis.ModulePath + "/internal/cache",
 	},
 	Run: run,
 }

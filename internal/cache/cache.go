@@ -1,0 +1,461 @@
+// Package cache implements an interval-caching block cache shared
+// across play requests. When a trailing play of a strand range runs
+// within a bounded distance of a leading play, the trailing stream is
+// served from the blocks the leader just fetched instead of from the
+// disk: the cache pins each block the leader produces until its
+// follower consumes it, forming an *interval* between the two streams.
+// Capacity not held by interval pins acts as a plain LRU block cache.
+//
+// The bound on the leader/follower distance is the cache capacity
+// itself: a stream may only become a follower while every block
+// between its position and its leader's is still resident, and a
+// chain's pins can never exceed the capacity (a leader whose follower
+// falls too far behind simply fails to insert, the follower misses,
+// and the manager demotes it back through full admission).
+//
+// The cache is not safe for concurrent use; the storage manager's
+// round loop (and the server above it) serialize access.
+package cache
+
+import "mmfs/internal/strand"
+
+// Result classifies a Get.
+type Result int
+
+const (
+	// Miss: the block is not resident and no leader will produce it;
+	// the caller must fetch from disk (or demote the stream).
+	Miss Result = iota
+	// Hit: the block was served from memory at zero disk cost.
+	Hit
+	// Wait: the block is not yet produced by the stream's leader; the
+	// caller should retry after the leader makes progress rather than
+	// touch the disk.
+	Wait
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case Wait:
+		return "wait"
+	}
+	return "miss"
+}
+
+// blockKey identifies one cached media block.
+type blockKey struct {
+	sid   strand.ID
+	index int
+}
+
+// entry is one resident block. An entry is either pinned for exactly
+// one claimant stream (the next follower that will consume it), or it
+// sits on the LRU list.
+type entry struct {
+	key        blockKey
+	data       []byte
+	claimant   *stream // non-nil ⇒ pinned, off the LRU list
+	prev, next *entry  // LRU links (nil when pinned)
+}
+
+// stream is one open play position over a strand. pos is the next
+// block index the stream will produce (leader fetching from disk) or
+// consume (follower reading from the cache); leader/follower link the
+// interval chain L ← F1 ← F2 ordered by descending pos.
+type stream struct {
+	id   uint64
+	sid  strand.ID
+	pos  int
+	end  int
+	rate float64
+	leader, follower *stream
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses, Waits uint64
+	Inserts, Evictions  uint64
+	Adoptions           uint64
+	// Bytes/PinnedBytes/Capacity describe residency; PinnedBytes ≤
+	// Bytes ≤ Capacity always holds.
+	Bytes, PinnedBytes, Capacity int64
+	// Streams is the number of open play positions; Intervals the
+	// number of leader←follower links among them.
+	Streams, Intervals int
+}
+
+// Cache is the interval cache.
+type Cache struct {
+	capacity int64
+	bytes    int64
+	pinned   int64
+	entries  map[blockKey]*entry
+	streams  map[uint64]*stream
+	// LRU list of unpinned entries, head = most recent.
+	head, tail *entry
+	stats      Stats
+}
+
+// New creates a cache with the given capacity in bytes.
+func New(capacity int64) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[blockKey]*entry),
+		streams:  make(map[uint64]*stream),
+	}
+}
+
+// Capacity reports the configured capacity in bytes.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.Bytes, s.PinnedBytes, s.Capacity = c.bytes, c.pinned, c.capacity
+	s.Streams = len(c.streams)
+	for _, t := range c.streams {
+		if t.leader != nil {
+			s.Intervals++
+		}
+	}
+	return s
+}
+
+// OpenStream registers a play position: the stream will touch strand
+// blocks [first, end) at the given playback rate (blocks/second class;
+// only equality between streams matters). Reopening an id replaces the
+// previous registration.
+func (c *Cache) OpenStream(id uint64, sid strand.ID, first, end int, rate float64) {
+	if _, ok := c.streams[id]; ok {
+		c.CloseStream(id)
+	}
+	c.streams[id] = &stream{id: id, sid: sid, pos: first, end: end, rate: rate}
+}
+
+// candidateLeader finds the stream a new follower at [first, …) on sid
+// would trail: the hindmost follower-free stream at or ahead of first
+// with a compatible rate, provided every gap block [first, leader.pos)
+// is resident. Choosing the hindmost minimizes the gap (and therefore
+// the pins), and chains followers L ← F1 ← F2 instead of fanning out.
+func (c *Cache) candidateLeader(sid strand.ID, first int, rate float64, self *stream) *stream {
+	var best *stream
+	for _, t := range c.streams {
+		if t == self || t.sid != sid || t.follower != nil {
+			continue
+		}
+		if t.pos < first || !rateCompatible(t.rate, rate) {
+			continue
+		}
+		if best == nil || t.pos < best.pos || (t.pos == best.pos && t.id < best.id) {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// The trailing gap must be fully resident; a larger gap is a
+	// superset of this one, so no further-ahead candidate can pass
+	// where the hindmost fails.
+	for i := first; i < best.pos; i++ {
+		if _, ok := c.entries[blockKey{sid, i}]; !ok {
+			return nil
+		}
+	}
+	return best
+}
+
+// rateCompatible reports whether a follower at rate rf can trail a
+// leader at rate rl: the rates must match, or the follower would drift
+// into (faster) or away from (slower) its leader.
+func rateCompatible(rl, rf float64) bool {
+	d := rl - rf
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*rl
+}
+
+// Adoptable reports whether a new stream over [first, …) of sid at the
+// given rate would find a leader right now. It has no side effects;
+// admission control uses it to decide cache-served admission before
+// the stream exists.
+func (c *Cache) Adoptable(sid strand.ID, first int, rate float64) bool {
+	if c == nil || c.capacity <= 0 {
+		return false
+	}
+	return c.candidateLeader(sid, first, rate, nil) != nil
+}
+
+// Adopt attaches the open stream to a leader, pinning the gap blocks
+// for it. It reports false when no leader qualifies (the stream then
+// runs disk-bound). Between an Adoptable check and the matching Adopt
+// the cache must not be mutated; the manager's serial admission path
+// guarantees this.
+func (c *Cache) Adopt(id uint64) bool {
+	if c.capacity <= 0 {
+		return false
+	}
+	s := c.streams[id]
+	if s == nil || s.leader != nil {
+		return false
+	}
+	l := c.candidateLeader(s.sid, s.pos, s.rate, s)
+	if l == nil {
+		return false
+	}
+	for i := s.pos; i < l.pos; i++ {
+		e := c.entries[blockKey{s.sid, i}]
+		if e.claimant == nil {
+			c.lruRemove(e)
+			e.claimant = s
+			c.pinned += int64(len(e.data))
+		}
+		// Already claimed by another chain's follower: leave the
+		// claim; the block is resident either way.
+	}
+	s.leader, l.follower = l, s
+	c.stats.Adoptions++
+	return true
+}
+
+// Get serves the stream's read of the given block. A Hit advances the
+// stream's position and hands down (or releases) the block's pin. A
+// Wait means the block is not yet produced by the leader; a Miss means
+// the stream has fallen off the cache and must be demoted to disk.
+func (c *Cache) Get(id uint64, index int) ([]byte, Result) {
+	s := c.streams[id]
+	if s == nil {
+		c.stats.Misses++
+		return nil, Miss
+	}
+	// Never read at or past the leader's position, even if the block
+	// is resident (it may be pinned for the leader-as-follower one
+	// level up the chain, and consuming it would reorder the chain).
+	if s.leader != nil && index >= s.leader.pos {
+		c.stats.Waits++
+		return nil, Wait
+	}
+	e := c.entries[blockKey{s.sid, index}]
+	if e == nil {
+		c.stats.Misses++
+		return nil, Miss
+	}
+	c.consume(s, e)
+	if index >= s.pos {
+		s.pos = index + 1
+	}
+	c.stats.Hits++
+	return e.data, Hit
+}
+
+// Peek classifies what Get would return, with no side effects. The
+// manager's idle-time scan uses it to skip Wait-blocked streams.
+func (c *Cache) Peek(id uint64, index int) Result {
+	s := c.streams[id]
+	if s == nil {
+		return Miss
+	}
+	if s.leader != nil && index >= s.leader.pos {
+		return Wait
+	}
+	if c.entries[blockKey{s.sid, index}] == nil {
+		return Miss
+	}
+	return Hit
+}
+
+// consume handles the pin of a block the stream has read or skipped:
+// a claim held for this stream transfers to its own follower (the next
+// consumer in the chain) or, at the chain tail, unpins to the LRU.
+func (c *Cache) consume(s *stream, e *entry) {
+	if e.claimant != s {
+		if e.claimant == nil {
+			c.lruMoveFront(e)
+		}
+		return
+	}
+	if f := s.follower; f != nil && e.key.index >= f.pos && e.key.index < f.end {
+		e.claimant = f
+		return
+	}
+	e.claimant = nil
+	c.pinned -= int64(len(e.data))
+	c.lruPushFront(e)
+}
+
+// Put records a block the stream fetched from disk, making it
+// available to followers (pinned if one needs it) or to the plain LRU.
+// The stream's position advances past the block either way.
+func (c *Cache) Put(id uint64, index int, data []byte) {
+	s := c.streams[id]
+	if s == nil {
+		return
+	}
+	if index >= s.pos {
+		s.pos = index + 1
+	}
+	size := int64(len(data))
+	if size == 0 || size > c.capacity {
+		return
+	}
+	key := blockKey{s.sid, index}
+	if e := c.entries[key]; e != nil {
+		e.data = data
+		c.claimOrTouch(s, e)
+		return
+	}
+	// Make room by evicting unpinned LRU entries; if the pins leave no
+	// room the insert is skipped (the follower will miss and demote).
+	for c.bytes+size > c.capacity {
+		if !c.evictOne() {
+			return
+		}
+	}
+	e := &entry{key: key, data: data}
+	c.entries[key] = e
+	c.bytes += size
+	c.stats.Inserts++
+	c.lruPushFront(e)
+	c.claimOrTouch(s, e)
+}
+
+// claimOrTouch pins the (resident) entry for the producing stream's
+// follower if that follower still needs it, else refreshes its LRU
+// position.
+func (c *Cache) claimOrTouch(s *stream, e *entry) {
+	f := s.follower
+	needs := f != nil && e.key.index >= f.pos && e.key.index < f.end
+	switch {
+	case e.claimant == nil && needs:
+		c.lruRemove(e)
+		e.claimant = f
+		c.pinned += int64(len(e.data))
+	case e.claimant == nil:
+		c.lruMoveFront(e)
+	}
+}
+
+// Produced advances the stream's position past a block that was
+// serviced without touching the cache (silence blocks cost no disk
+// time and are regenerated on read, so caching them is pure waste).
+func (c *Cache) Produced(id uint64, index int) {
+	s := c.streams[id]
+	if s == nil {
+		return
+	}
+	if e := c.entries[blockKey{s.sid, index}]; e != nil && e.claimant == s {
+		c.consume(s, e)
+	}
+	if index >= s.pos {
+		s.pos = index + 1
+	}
+}
+
+// CloseStream removes a play position: every block pinned for it is
+// handed down to its follower or released to the LRU, and the chain is
+// spliced around it (the follower now trails the closed stream's
+// leader; the interval survives exactly when the gap blocks remain
+// resident, which they do — they were pinned for the follower). Safe
+// to call for unknown ids.
+func (c *Cache) CloseStream(id uint64) {
+	s := c.streams[id]
+	if s == nil {
+		return
+	}
+	delete(c.streams, id)
+	for _, e := range c.entries {
+		if e.claimant == s {
+			if f := s.follower; f != nil && e.key.index >= f.pos && e.key.index < f.end {
+				e.claimant = f
+				continue
+			}
+			e.claimant = nil
+			c.pinned -= int64(len(e.data))
+			c.lruPushFront(e)
+		}
+	}
+	if s.follower != nil {
+		s.follower.leader = s.leader
+	}
+	if s.leader != nil {
+		s.leader.follower = s.follower
+	}
+	s.leader, s.follower = nil, nil
+}
+
+// InvalidateStrand drops every cached block of a strand (the garbage
+// collector reclaimed it, so the sectors may be rewritten). Streams
+// over the strand are left open; their next Get misses and the manager
+// demotes them.
+func (c *Cache) InvalidateStrand(sid strand.ID) {
+	for k, e := range c.entries {
+		if k.sid == sid {
+			c.removeEntry(e)
+		}
+	}
+}
+
+// removeEntry unlinks and forgets an entry regardless of pin state.
+func (c *Cache) removeEntry(e *entry) {
+	if e.claimant != nil {
+		e.claimant = nil
+		c.pinned -= int64(len(e.data))
+	} else {
+		c.lruRemove(e)
+	}
+	c.bytes -= int64(len(e.data))
+	delete(c.entries, e.key)
+}
+
+// evictOne drops the least recently used unpinned entry; false when
+// only pinned entries remain.
+func (c *Cache) evictOne() bool {
+	e := c.tail
+	if e == nil {
+		return false
+	}
+	c.removeEntry(e)
+	c.stats.Evictions++
+	return true
+}
+
+// --- intrusive LRU list (head = most recently used) ---
+
+func (c *Cache) lruPushFront(e *entry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) lruRemove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) lruMoveFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.lruRemove(e)
+	c.lruPushFront(e)
+}

@@ -199,6 +199,9 @@ type PlayResult struct {
 	Blocks int
 	// Startup is the virtual time at which display began.
 	Startup time.Duration
+	// CacheHits is the number of blocks served from the server's
+	// interval cache instead of the disk.
+	CacheHits int
 }
 
 // Play runs a remote PLAY to completion and returns its continuity
@@ -213,6 +216,7 @@ func (c *Client) Play(user string, id rope.ID, m rope.Medium, start, dur time.Du
 		Violations: int(d.U32()),
 		Blocks:     int(d.U32()),
 		Startup:    time.Duration(d.I64()),
+		CacheHits:  int(d.U32()),
 	}
 	return res, d.Err()
 }
@@ -354,6 +358,18 @@ type ServerStats struct {
 	Rounds         uint64
 	K              int
 	ActiveRequests int
+	// CacheServed is the number of live requests currently fed by the
+	// interval cache rather than the disk.
+	CacheServed int
+	// CacheHits is the lifetime count of blocks served from the cache.
+	CacheHits uint64
+	// CacheBytes/CacheCapacity are the cache's occupancy and size in
+	// bytes (both zero when caching is disabled).
+	CacheBytes    uint64
+	CacheCapacity uint64
+	// CacheIntervals is the number of leader→follower intervals
+	// currently formed.
+	CacheIntervals int
 }
 
 // Stats fetches server statistics.
@@ -369,6 +385,11 @@ func (c *Client) Stats() (ServerStats, error) {
 		Rounds:         d.U64(),
 		K:              int(d.U32()),
 		ActiveRequests: int(d.U32()),
+		CacheServed:    int(d.U32()),
+		CacheHits:      d.U64(),
+		CacheBytes:     d.U64(),
+		CacheCapacity:  d.U64(),
+		CacheIntervals: int(d.U32()),
 	}
 	return st, d.Err()
 }

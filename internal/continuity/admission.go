@@ -238,6 +238,11 @@ type Decision struct {
 	Steps []int
 	// Reason explains a rejection.
 	Reason string
+	// CacheServed reports that the request was admitted as an
+	// interval-cache follower: it charges no disk time (no α/β terms),
+	// so it is excluded from the request sets of later Eq. 15/18
+	// evaluations until demoted.
+	CacheServed bool
 }
 
 // Admit runs the paper's admission control algorithm: given the

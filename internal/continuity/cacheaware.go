@@ -1,0 +1,44 @@
+package continuity
+
+// This file extends §3.4's admission control with interval-cache
+// awareness. The paper's bound n_max = ⌈γ/β⌉ − 1 (Eq. 17) charges
+// every request a full per-block disk service time β, which is
+// pessimistic for the popular-content workload where many viewers play
+// the same rope seconds apart: a trailing request served entirely from
+// the blocks a leading request just fetched performs no disk work at
+// all. The cache-aware controller therefore evaluates Eq. 18
+//
+//	n_d·α + n_d·k·β ≤ k·γ
+//
+// over the *disk-bound* request population n_d only. A fully
+// cache-served follower joins at the current k without a transition
+// (it adds no term to the left-hand side), letting the total admitted
+// population n exceed n_max while the stepwise-k transition still
+// protects every disk-bound stream. The admission is conditional: if
+// the interval later breaks — the leader stops, pauses, or a FF/REW
+// repositioning changes the follower's rate or range — the follower is
+// demoted back through this controller's full (disk-charging) path,
+// and paused destructively if that fails.
+
+// CacheAware layers interval-cache awareness over a base admission
+// controller.
+type CacheAware struct {
+	// A is the device's base admission controller (Eq. 12–18).
+	A Admission
+}
+
+// Admit decides admission for a candidate. diskBound must list only
+// the requests actually charging the disk — cache-served followers are
+// excluded by the caller — and cacheServed tells whether the candidate
+// will be fully served from the cache. A cache-served candidate is
+// validated and admitted at the unchanged kOld; a disk-bound candidate
+// goes through the base controller against the disk-bound set.
+func (c CacheAware) Admit(diskBound []Request, kOld int, candidate Request, cacheServed bool) Decision {
+	if !cacheServed {
+		return c.A.Admit(diskBound, kOld, candidate)
+	}
+	if err := candidate.Validate(); err != nil {
+		return Decision{Reason: err.Error()}
+	}
+	return Decision{Admitted: true, K: kOld, CacheServed: true}
+}

@@ -102,7 +102,9 @@ func TestFeasibleMatchesMaxScattering(t *testing.T) {
 		if !ok {
 			return true
 		}
-		frac := float64(rawFrac) / 255 // in [0,1]
+		// Stay strictly below the bound: frac = 1.0 would probe the
+		// float boundary itself, where Feasible may round either way.
+		frac := float64(rawFrac) / 256 // in [0,1)
 		below := bound * frac
 		above := bound + 0.001 + bound*frac
 		return Feasible(cfg, q, below, m, d) && !Feasible(cfg, q, above, m, d)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"mmfs/internal/alloc"
+	"mmfs/internal/cache"
 	"mmfs/internal/continuity"
 	"mmfs/internal/disk"
 	"mmfs/internal/gc"
@@ -50,6 +51,11 @@ type Options struct {
 	// 8 audio units.
 	VideoDeviceBufferUnits int
 	AudioDeviceBufferUnits int
+	// CacheMB sizes the interval cache in MiB: trailing plays of a
+	// strand range are served from the blocks a leading play just
+	// fetched, admitting more concurrent streams than the disk-only
+	// bound n_max. 0 disables the cache.
+	CacheMB int
 }
 
 func (o Options) withDefaults() Options {
@@ -150,6 +156,9 @@ func build(opts Options, d *disk.Disk, a *alloc.Allocator) *FS {
 	}
 	if opts.Arch.Arch == continuity.Concurrent {
 		fs.mgr.SetConcurrency(opts.Arch.P)
+	}
+	if opts.CacheMB > 0 {
+		fs.mgr.SetCache(cache.New(int64(opts.CacheMB) << 20))
 	}
 	return fs
 }
@@ -313,6 +322,9 @@ func (fs *FS) NewManager() *msm.Manager {
 	if fs.opts.Arch.Arch == continuity.Concurrent {
 		fs.mgr.SetConcurrency(fs.opts.Arch.P)
 	}
+	if fs.opts.CacheMB > 0 {
+		fs.mgr.SetCache(cache.New(int64(fs.opts.CacheMB) << 20))
+	}
 	return fs.mgr
 }
 
@@ -351,7 +363,17 @@ func (fs *FS) nextStartCylinder() int {
 }
 
 // Collect runs the garbage collector, reclaiming unreferenced strands.
-func (fs *FS) Collect() ([]strand.ID, error) { return fs.collector.Collect() }
+// Cached blocks of reclaimed strands are dropped: their sectors may be
+// reallocated and rewritten.
+func (fs *FS) Collect() ([]strand.ID, error) {
+	ids, err := fs.collector.Collect()
+	if c := fs.mgr.Cache(); c != nil {
+		for _, id := range ids {
+			c.InvalidateStrand(id)
+		}
+	}
+	return ids, err
+}
 
 // Occupancy reports the allocated fraction of the disk.
 func (fs *FS) Occupancy() float64 { return fs.a.Occupancy() }

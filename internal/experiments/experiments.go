@@ -100,6 +100,7 @@ func All() []Result {
 		VBR(),
 		Scan(),
 		Reorg(),
+		IntervalCache(),
 	}
 }
 
@@ -122,6 +123,7 @@ func ByID(id string) (func() Result, bool) {
 		"vbr":   VBR,
 		"scan":  Scan,
 		"reorg": Reorg,
+		"ic":    IntervalCache,
 	}
 	f, ok := m[strings.ToLower(id)]
 	return f, ok

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"mmfs/internal/continuity"
 )
 
 // cell parses a table cell as an int, tolerating decorations.
@@ -33,7 +35,7 @@ func TestRenderProducesTable(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg"} {
+	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("experiment %q unknown", id)
 		}
@@ -339,5 +341,33 @@ func TestReorgExperiment(t *testing.T) {
 	}
 	if after != want {
 		t.Fatalf("after compaction placed %d of %d blocks", after, want)
+	}
+}
+
+func TestIntervalCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	res := IntervalCache()
+	nmax := continuity.AdmissionFor(stdDevice()).NMax(cachePlanRequest())
+	if len(res.Rows) < 2 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	off := res.Rows[0]
+	if cellInt(t, off[1]) != nmax || cellInt(t, off[3]) != 0 {
+		t.Fatalf("cache disabled: admitted %s (want n_max=%d) cache-served %s (want 0)", off[1], nmax, off[3])
+	}
+	on := res.Rows[len(res.Rows)-1]
+	if got := cellInt(t, on[1]); got < nmax+2 {
+		t.Fatalf("largest cache admitted %d plays, want >= n_max+2 = %d", got, nmax+2)
+	}
+	if cellInt(t, on[4]) != 0 {
+		t.Fatalf("largest cache still rejected %s plays", on[4])
+	}
+	if cellInt(t, on[5]) != 0 {
+		t.Fatalf("cache-admitted plays violated continuity: %v", on)
+	}
+	if cellInt(t, on[3]) == 0 {
+		t.Fatal("no play was cache-served at the largest cache size")
 	}
 }

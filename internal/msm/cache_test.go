@@ -1,0 +1,304 @@
+package msm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mmfs/internal/cache"
+	"mmfs/internal/continuity"
+	"mmfs/internal/disk"
+	"mmfs/internal/strand"
+)
+
+// cacheRigK computes the steady blocks-per-round for a saturated
+// homogeneous population of n template requests. Pinning k there up
+// front (ForceK) keeps admissions step-free, so no transition rounds
+// fast-forward virtual time mid-test and the population really is
+// concurrent.
+func cacheRigK(t *testing.T, a continuity.Admission, tmpl continuity.Request, n int) int {
+	t.Helper()
+	reqs := make([]continuity.Request, n)
+	for i := range reqs {
+		reqs[i] = tmpl
+	}
+	k, ok := a.KTransient(reqs)
+	if !ok {
+		t.Fatalf("no feasible k for n=%d", n)
+	}
+	return k
+}
+
+// admitStaggered admits n plays of the strand, one every stagger of
+// virtual time, and returns the admitted IDs plus the cache-served and
+// rejected counts.
+func admitStaggered(t *testing.T, rig *testRig, s *strand.Strand, n int, stagger time.Duration) (ids []RequestID, cached int, rejected int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		plan, err := PlanStrandPlay(rig.d, s, PlanOptions{
+			ReadAhead:  2,
+			Buffers:    4,
+			Scattering: rig.scattering(),
+		})
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		id, dec, err := rig.m.AdmitPlay(plan)
+		if err != nil {
+			rejected++
+		} else {
+			ids = append(ids, id)
+			if dec.CacheServed {
+				cached++
+			}
+		}
+		rig.m.RunFor(stagger)
+	}
+	return ids, cached, rejected
+}
+
+// TestCacheAdmitsFollowersPastNMax drives the acceptance scenario at
+// the manager level: with an interval cache, n_max + 2 staggered plays
+// of one strand are all admitted (one disk-bound leader, the rest
+// cache-served followers) and complete violation-free; without the
+// cache the identical sequence is cut off at n_max.
+func TestCacheAdmitsFollowersPastNMax(t *testing.T) {
+	rig := newRig(t, disk.DefaultGeometry())
+	tmpl := continuity.Request{
+		Name: "video", Granularity: 3, UnitBits: 18000 * 8, Rate: 30,
+		Scattering: rig.scattering(),
+	}
+	nmax := rig.m.Admission().NMax(tmpl)
+	if nmax < 2 {
+		t.Fatalf("degenerate n_max = %d", nmax)
+	}
+	want := nmax + 2
+	k := cacheRigK(t, rig.m.Admission(), tmpl, nmax)
+	s := rig.recordVideo(t, 600, 18000, 3, 30, 77)
+
+	rig.m = New(rig.d, continuity.AdmissionFor(rig.dev))
+	rig.m.SetCache(cache.New(16 << 20))
+	rig.m.ForceK(k)
+	ids, cached, rejected := admitStaggered(t, rig, s, want, 400*time.Millisecond)
+	if len(ids) != want || rejected != 0 {
+		t.Fatalf("admitted %d of %d (rejected %d) with cache", len(ids), want, rejected)
+	}
+	if cached != want-1 {
+		t.Fatalf("cache-served %d of %d admissions, want all but the leader", cached, want)
+	}
+	if got := rig.m.ActiveRequests(); got != 1 {
+		t.Fatalf("disk-bound requests = %d, want 1 (the leader)", got)
+	}
+	if got := rig.m.CacheServed(); got != want-1 {
+		t.Fatalf("CacheServed() = %d, want %d", got, want-1)
+	}
+	rig.m.RunUntilDone()
+	for _, id := range ids {
+		v, err := rig.m.Violations(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v) != 0 {
+			t.Fatalf("request %d: %d violations, first %+v", id, len(v), v[0])
+		}
+		p, err := rig.m.Progress(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Done || p.BlocksServed != p.BlocksTotal {
+			t.Fatalf("request %d incomplete: %+v", id, p)
+		}
+	}
+	st := rig.m.Stats()
+	if st.CacheHits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+	if st.Demotions != 0 {
+		t.Fatalf("unexpected demotions: %d", st.Demotions)
+	}
+
+	// Control: the identical sequence without a cache stops at n_max.
+	rig.m = New(rig.d, continuity.AdmissionFor(rig.dev))
+	rig.m.ForceK(k)
+	ids, cached, rejected = admitStaggered(t, rig, s, want, 400*time.Millisecond)
+	if len(ids) != nmax || rejected != want-nmax {
+		t.Fatalf("admitted %d without cache, want n_max = %d", len(ids), nmax)
+	}
+	if cached != 0 {
+		t.Fatalf("cache-served admissions without a cache: %d", cached)
+	}
+}
+
+// TestFollowerDemotedWhenLeaderStops breaks the interval mid-play: the
+// follower drains the blocks pinned for it, then misses and is demoted
+// through full admission to a disk-bound stream, finishing the play
+// violation-free.
+func TestFollowerDemotedWhenLeaderStops(t *testing.T) {
+	rig := newRig(t, disk.DefaultGeometry())
+	s := rig.recordVideo(t, 300, 18000, 3, 30, 78)
+	rig.m = New(rig.d, continuity.AdmissionFor(rig.dev))
+	rig.m.SetCache(cache.New(16 << 20))
+
+	ids, cached, rejected := admitStaggered(t, rig, s, 2, 400*time.Millisecond)
+	if len(ids) != 2 || cached != 1 || rejected != 0 {
+		t.Fatalf("setup: ids=%d cached=%d rejected=%d", len(ids), cached, rejected)
+	}
+	leader, follower := ids[0], ids[1]
+	rig.m.RunFor(1 * time.Second)
+	if err := rig.m.Stop(leader); err != nil {
+		t.Fatal(err)
+	}
+	rig.m.RunUntilDone()
+
+	st := rig.m.Stats()
+	if st.Demotions != 1 {
+		t.Fatalf("demotions = %d, want 1", st.Demotions)
+	}
+	if got := rig.m.CacheServed(); got != 0 {
+		t.Fatalf("CacheServed() = %d after demotion", got)
+	}
+	v, err := rig.m.Violations(follower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("follower had %d violations after demotion, first %+v", len(v), v[0])
+	}
+	p, err := rig.m.Progress(follower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done || p.BlocksServed != p.BlocksTotal {
+		t.Fatalf("follower incomplete after demotion: %+v", p)
+	}
+	if p.CacheHits == 0 || p.CacheHits == p.BlocksTotal {
+		t.Fatalf("follower cache hits = %d of %d, want a strict mix (cache then disk)", p.CacheHits, p.BlocksTotal)
+	}
+	if p.CacheServed {
+		t.Fatal("follower still reported cache-served")
+	}
+}
+
+// TestFollowerDemotedToPauseWhenDiskSaturated exercises the last rung
+// of the demotion ladder: the disk carries a full n_max population
+// (the leader among them) when the leader pauses; the follower drains
+// its pins, misses, cannot be re-admitted disk-bound, and is
+// destructively paused rather than allowed to violate the admitted
+// population. Once the disk drains it resumes through admission and
+// finishes.
+func TestFollowerDemotedToPauseWhenDiskSaturated(t *testing.T) {
+	rig := newRig(t, disk.DefaultGeometry())
+	tmpl := continuity.Request{
+		Name: "video", Granularity: 3, UnitBits: 18000 * 8, Rate: 30,
+		Scattering: rig.scattering(),
+	}
+	nmax := rig.m.Admission().NMax(tmpl)
+	if nmax < 2 {
+		t.Fatalf("degenerate n_max = %d", nmax)
+	}
+	k := cacheRigK(t, rig.m.Admission(), tmpl, nmax)
+	// Long ropes: every admitted play is re-provisioned to 2k buffers,
+	// so rounds move ~2k blocks of virtual time per stream and short
+	// ropes would finish during the staggered admissions.
+	lead := rig.recordVideo(t, 900, 18000, 3, 30, 200)
+	others := make([]*strand.Strand, nmax-1)
+	for i := range others {
+		others[i] = rig.recordVideo(t, 600, 18000, 3, 30, int64(201+i))
+	}
+
+	rig.m = New(rig.d, continuity.AdmissionFor(rig.dev))
+	rig.m.SetCache(cache.New(32 << 20))
+	rig.m.ForceK(k)
+
+	ids, cached, rejected := admitStaggered(t, rig, lead, 2, 400*time.Millisecond)
+	if len(ids) != 2 || cached != 1 || rejected != 0 {
+		t.Fatalf("setup: ids=%v cached=%d rejected=%d", ids, cached, rejected)
+	}
+	leader, follower := ids[0], ids[1]
+	for i, s := range others {
+		ids2, _, rej := admitStaggered(t, rig, s, 1, 200*time.Millisecond)
+		if len(ids2) != 1 || rej != 0 {
+			t.Fatalf("saturating admission %d rejected", i)
+		}
+	}
+	if got := rig.m.ActiveRequests(); got != nmax {
+		t.Fatalf("disk-bound = %d, want n_max = %d", got, nmax)
+	}
+	if got := rig.m.CacheServed(); got != 1 {
+		t.Fatalf("CacheServed() = %d, want 1", got)
+	}
+
+	// The paused leader keeps its admission slot (non-destructive), so
+	// the demoted follower faces a full disk and must pause. Pause
+	// before the leader can finish prefetching its rope.
+	if err := rig.m.Pause(leader, false); err != nil {
+		t.Fatal(err)
+	}
+	rig.m.RunFor(3 * time.Second)
+	if d := rig.m.Stats().Demotions; d != 1 {
+		t.Fatalf("demotions = %d, want 1", d)
+	}
+	if got := rig.m.CacheServed(); got != 0 {
+		t.Fatalf("CacheServed() = %d after failed demotion", got)
+	}
+	p, err := rig.m.Progress(follower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Paused || p.Done {
+		t.Fatalf("follower should be destructively paused, got %+v", p)
+	}
+
+	// Drain the disk, then the paused follower comes back through
+	// admission and completes.
+	if _, err := rig.m.Resume(leader); err != nil {
+		t.Fatalf("resume leader: %v", err)
+	}
+	rig.m.RunUntilDone()
+	if _, err := rig.m.Resume(follower); err != nil {
+		t.Fatalf("resume follower after drain: %v", err)
+	}
+	rig.m.RunUntilDone()
+	p, err = rig.m.Progress(follower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done || p.BlocksServed != p.BlocksTotal {
+		t.Fatalf("follower incomplete after resume: %+v", p)
+	}
+}
+
+// TestCacheRejectionIsCleanError keeps the error contract: with the
+// cache enabled but unable to help (distinct strands), the n_max+1-th
+// admission still reports ErrAdmissionRejected.
+func TestCacheRejectionIsCleanError(t *testing.T) {
+	rig := newRig(t, disk.DefaultGeometry())
+	tmpl := continuity.Request{
+		Name: "video", Granularity: 3, UnitBits: 18000 * 8, Rate: 30,
+		Scattering: rig.scattering(),
+	}
+	nmax := rig.m.Admission().NMax(tmpl)
+	k := cacheRigK(t, rig.m.Admission(), tmpl, nmax)
+	strands := make([]*strand.Strand, nmax+1)
+	for i := range strands {
+		strands[i] = rig.recordVideo(t, 120, 18000, 3, 30, int64(300+i))
+	}
+	rig.m = New(rig.d, continuity.AdmissionFor(rig.dev))
+	rig.m.SetCache(cache.New(16 << 20))
+	rig.m.ForceK(k)
+	for i, s := range strands {
+		plan, err := PlanStrandPlay(rig.d, s, PlanOptions{
+			ReadAhead: 2, Buffers: 4, Scattering: rig.scattering(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = rig.m.AdmitPlay(plan)
+		if i < nmax && err != nil {
+			t.Fatalf("admission %d: %v", i, err)
+		}
+		if i == nmax && !errors.Is(err, ErrAdmissionRejected) {
+			t.Fatalf("admission %d: err = %v, want ErrAdmissionRejected", i, err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"mmfs/internal/cache"
 	"mmfs/internal/continuity"
 	"mmfs/internal/disk"
 	"mmfs/internal/sim"
@@ -65,6 +66,12 @@ type Stats struct {
 	SilenceBlocks   uint64
 	IdleTime        time.Duration
 	TransitionSteps uint64
+	// CacheHits is the subset of BlocksFetched served from the
+	// interval cache at zero disk time.
+	CacheHits uint64
+	// Demotions counts cache-served requests whose interval broke and
+	// that went back through full admission.
+	Demotions uint64
 }
 
 // Manager is the Multimedia Storage Manager: it owns the disk, the
@@ -84,6 +91,17 @@ type Manager struct {
 	reqs        []*request
 	nextID      RequestID
 	stats       Stats
+	// cache, when set, serves trailing plays of a strand range from
+	// the blocks a leading play just fetched (interval caching).
+	cache *cache.Cache
+	// inDemote guards processDemotions against re-entry from the
+	// transition rounds a demotion's re-admission runs.
+	inDemote bool
+	// Per-round scratch storage, reused to keep the service loop
+	// allocation-free (the round loop is the hot path).
+	scratchAct []*request
+	scratchAdm []continuity.Request
+	sorter     scanSorter
 }
 
 // New creates a manager over the disk with the given admission
@@ -131,13 +149,22 @@ func (m *Manager) Stats() Stats { return m.stats }
 // Admission returns the admission controller in use.
 func (m *Manager) Admission() continuity.Admission { return m.adm }
 
-// admissionSet lists the requests currently counted by admission
-// control: active and non-destructively paused ones (their resources
-// remain allocated).
+// SetCache installs an interval cache; nil disables caching. Intended
+// at manager construction, before requests are admitted.
+func (m *Manager) SetCache(c *cache.Cache) { m.cache = c }
+
+// Cache returns the interval cache, nil when disabled.
+func (m *Manager) Cache() *cache.Cache { return m.cache }
+
+// admissionSet lists the requests currently charged by admission
+// control: active and non-destructively paused disk-bound ones (their
+// resources remain allocated). Cache-served followers perform no disk
+// work, so the cache-aware controller excludes them (they are counted
+// separately by CacheServed).
 func (m *Manager) admissionSet() []continuity.Request {
-	var out []continuity.Request
+	out := m.scratchAdm[:0]
 	for _, r := range m.reqs {
-		if r.done {
+		if r.done || r.cacheServed {
 			continue
 		}
 		if r.pause != nil && r.pause.destructive {
@@ -145,19 +172,39 @@ func (m *Manager) admissionSet() []continuity.Request {
 		}
 		out = append(out, r.adm)
 	}
+	m.scratchAdm = out
 	return out
 }
 
-// ActiveRequests reports how many requests admission control is
-// currently carrying.
+// ActiveRequests reports how many disk-bound requests admission
+// control is currently carrying.
 func (m *Manager) ActiveRequests() int { return len(m.admissionSet()) }
 
+// CacheServed reports how many live requests are currently served from
+// the interval cache instead of the disk.
+func (m *Manager) CacheServed() int {
+	n := 0
+	for _, r := range m.reqs {
+		if r.cacheServed && !r.done {
+			n++
+		}
+	}
+	return n
+}
+
 // admit runs the admission decision and k transition for a candidate,
-// returning the decision. On acceptance the caller appends the request.
-func (m *Manager) admit(candidate continuity.Request) (continuity.Decision, error) {
-	dec := m.adm.Admit(m.admissionSet(), m.k, candidate)
+// returning the decision. On acceptance the caller appends the
+// request. A cacheServed candidate (one the interval cache can fully
+// serve) is admitted at the current k without charging disk time —
+// Eq. 18 is evaluated over the disk-bound population only.
+func (m *Manager) admit(candidate continuity.Request, cacheServed bool) (continuity.Decision, error) {
+	ca := continuity.CacheAware{A: m.adm}
+	dec := ca.Admit(m.admissionSet(), m.k, candidate, cacheServed)
 	if !dec.Admitted {
 		return dec, fmt.Errorf("%w: %s", ErrAdmissionRejected, dec.Reason)
+	}
+	if dec.CacheServed {
+		return dec, nil
 	}
 	switch m.policy {
 	case Stepwise:
@@ -201,12 +248,18 @@ func (m *Manager) growPlayBuffers(n int) {
 }
 
 // AdmitPlay admits and registers a PLAY request. The request begins
-// receiving service in the next round.
+// receiving service in the next round. When an interval cache is
+// installed and a leading play of the same strand range can feed this
+// one, the request is admitted cache-served: it charges no disk time,
+// so the total population may exceed Eq. 17's n_max.
 func (m *Manager) AdmitPlay(plan PlayPlan) (RequestID, continuity.Decision, error) {
 	if err := plan.Validate(); err != nil {
 		return 0, continuity.Decision{}, err
 	}
-	dec, err := m.admit(plan.Admission)
+	sid, first, end, eligible := planCacheRange(plan)
+	eligible = eligible && m.cache != nil
+	cacheServed := eligible && m.cache.Adoptable(sid, first, plan.Admission.Rate)
+	dec, err := m.admit(plan.Admission, cacheServed)
 	if err != nil {
 		return 0, dec, err
 	}
@@ -233,8 +286,28 @@ func (m *Manager) AdmitPlay(plan PlayPlan) (RequestID, continuity.Decision, erro
 		sum += b.Duration
 	}
 	ps.deadlines[len(plan.Blocks)] = sum
+	if eligible {
+		ps.cacheEligible, ps.cacheSID, ps.cacheEnd = true, sid, end
+	}
 	r := &request{id: m.newID(), kind: Play, name: plan.Name, adm: plan.Admission, play: ps}
 	m.reqs = append(m.reqs, r)
+	if eligible {
+		// Register the play position: disk-bound eligible requests
+		// become potential leaders (their fetches feed the cache).
+		m.cache.OpenStream(uint64(r.id), sid, first, end, plan.Admission.Rate)
+		ps.cacheOpen = true
+		if dec.CacheServed {
+			if m.cache.Adopt(uint64(r.id)) {
+				r.cacheServed = true
+			} else {
+				// Cannot happen: nothing mutates the cache between the
+				// Adoptable check and here. Recover through the
+				// demotion path rather than crash.
+				r.cacheServed = true
+				r.needsDemote = true
+			}
+		}
+	}
 	return r.id, dec, nil
 }
 
@@ -245,7 +318,7 @@ func (m *Manager) AdmitRecord(plan RecordPlan) (RequestID, continuity.Decision, 
 	if err := plan.Validate(); err != nil {
 		return 0, continuity.Decision{}, err
 	}
-	dec, err := m.admit(plan.Admission)
+	dec, err := m.admit(plan.Admission, false)
 	if err != nil {
 		return 0, dec, err
 	}
@@ -285,6 +358,9 @@ func (m *Manager) Stop(id RequestID) error {
 		return err
 	}
 	r.done = true
+	// A stopped leader's followers are spliced to its own leader (or
+	// left to drain the pinned backlog and demote).
+	m.closeCacheStream(r)
 	return nil
 }
 
@@ -303,6 +379,11 @@ func (m *Manager) Pause(id RequestID, destructive bool) error {
 		return fmt.Errorf("msm: request %d already paused", id)
 	}
 	r.pause = &pauseState{at: m.clock.Now(), destructive: destructive}
+	// A paused producer stops feeding its followers either way; close
+	// its cache stream so they demote instead of waiting forever. A
+	// paused cache-served request re-enters the cache on resume.
+	m.closeCacheStream(r)
+	r.needsDemote = false
 	return nil
 }
 
@@ -319,10 +400,19 @@ func (m *Manager) Resume(id RequestID) (continuity.Decision, error) {
 	}
 	var dec continuity.Decision
 	if r.pause.destructive {
-		dec, err = m.admit(r.adm)
+		// A destructively paused request gave up its slot; try to come
+		// back as a cache-served follower first, else through full
+		// admission.
+		cacheServed := false
+		if r.kind == Play && m.cache != nil && r.play.cacheEligible && r.play.nextFetch < len(r.play.plan.Blocks) {
+			b := r.play.plan.Blocks[r.play.nextFetch]
+			cacheServed = m.cache.Adoptable(r.play.cacheSID, b.Index, r.adm.Rate)
+		}
+		dec, err = m.admit(r.adm, cacheServed)
 		if err != nil {
 			return dec, err
 		}
+		r.cacheServed = dec.CacheServed
 	}
 	shift := m.clock.Now() - r.pause.at
 	switch r.kind {
@@ -334,6 +424,12 @@ func (m *Manager) Resume(id RequestID) (continuity.Decision, error) {
 		r.rec.start += shift
 	}
 	r.pause = nil
+	m.reopenCacheStream(r)
+	if r.cacheServed && (!r.play.cacheOpen || !m.cache.Adopt(uint64(r.id))) {
+		// The adoption the admission was based on is gone; resolve
+		// through demotion at the next round.
+		r.needsDemote = true
+	}
 	return dec, nil
 }
 
@@ -384,6 +480,8 @@ func (m *Manager) Progress(id RequestID) (Progress, error) {
 		p.BlocksServed = r.play.nextFetch
 		p.BlocksTotal = len(r.play.plan.Blocks)
 		p.StartTime = r.play.startTime
+		p.CacheHits = r.play.cacheHits
+		p.CacheServed = r.cacheServed
 	default:
 		p.Violations = len(r.rec.violations)
 		p.BlocksServed = r.rec.nextWrite
@@ -393,14 +491,16 @@ func (m *Manager) Progress(id RequestID) (Progress, error) {
 	return p, nil
 }
 
-// active lists requests that can still need service.
+// active lists requests that can still need service, into scratch
+// storage valid until the next call.
 func (m *Manager) active() []*request {
-	var out []*request
+	out := m.scratchAct[:0]
 	for _, r := range m.reqs {
-		if !r.done && r.pause == nil {
+		if !r.done && r.pause == nil && !r.demoting {
 			out = append(out, r)
 		}
 	}
+	m.scratchAct = out
 	return out
 }
 
@@ -409,6 +509,7 @@ func (m *Manager) active() []*request {
 // to the next time one will. It reports false when no active request
 // remains.
 func (m *Manager) RunRound() bool {
+	m.processDemotions()
 	act := m.active()
 	if len(act) == 0 {
 		return false
@@ -469,12 +570,79 @@ func (m *Manager) finishDrained() {
 		case Play:
 			if r.play.nextFetch >= len(r.play.plan.Blocks) {
 				r.done = true
+				// A finished leader's remaining pins stay with its
+				// follower; the chain is spliced around it.
+				m.closeCacheStream(r)
 			}
 		case Record:
 			if r.rec.exhausted {
 				r.done = true
 			}
 		}
+	}
+}
+
+// closeCacheStream withdraws the request's play position from the
+// interval cache (no-op when it has none).
+func (m *Manager) closeCacheStream(r *request) {
+	if m.cache == nil || r.kind != Play || !r.play.cacheOpen {
+		return
+	}
+	m.cache.CloseStream(uint64(r.id))
+	r.play.cacheOpen = false
+}
+
+// reopenCacheStream re-registers an eligible play's position after a
+// pause or demotion closed it, making it a potential leader again.
+func (m *Manager) reopenCacheStream(r *request) {
+	if m.cache == nil || r.kind != Play {
+		return
+	}
+	ps := r.play
+	if !ps.cacheEligible || ps.cacheOpen || ps.nextFetch >= len(ps.plan.Blocks) {
+		return
+	}
+	b := ps.plan.Blocks[ps.nextFetch]
+	m.cache.OpenStream(uint64(r.id), ps.cacheSID, b.Index, ps.cacheEnd, r.adm.Rate)
+	ps.cacheOpen = true
+}
+
+// processDemotions resolves requests whose interval broke (cache miss
+// while cache-served): each one first tries to adopt a new leader, and
+// failing that goes back through full disk admission — Eq. 18 with its
+// stepwise transition rounds, exactly as a fresh request would. When
+// even that fails the request is destructively paused rather than
+// allowed to violate the admitted population's continuity.
+func (m *Manager) processDemotions() {
+	if m.cache == nil || m.inDemote {
+		return
+	}
+	m.inDemote = true
+	defer func() { m.inDemote = false }()
+	for _, r := range m.reqs {
+		if !r.needsDemote || r.done || r.pause != nil {
+			continue
+		}
+		r.needsDemote = false
+		m.stats.Demotions++
+		m.closeCacheStream(r)
+		m.reopenCacheStream(r)
+		if r.play.cacheOpen && m.cache.Adopt(uint64(r.id)) {
+			continue // found a new leader; still cache-served
+		}
+		// Full admission as a disk-bound stream. The transition rounds
+		// recurse into RunRound; r.demoting keeps this request out of
+		// them (it has no admission slot yet).
+		r.demoting = true
+		_, err := m.admit(r.adm, false)
+		r.demoting = false
+		if err != nil {
+			r.cacheServed = false
+			m.closeCacheStream(r)
+			r.pause = &pauseState{at: m.clock.Now(), destructive: true}
+			continue
+		}
+		r.cacheServed = false
 	}
 }
 
@@ -501,36 +669,139 @@ func (m *Manager) nextCylinder(r *request) (int, bool) {
 	return 0, false
 }
 
+// scanSorter sorts a round's requests by precomputed sweep key; a
+// persistent instance avoids the per-round closure and reflection
+// allocations of sort.SliceStable.
+type scanSorter struct {
+	reqs []*request
+	keys []int
+}
+
+func (s *scanSorter) Len() int           { return len(s.reqs) }
+func (s *scanSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *scanSorter) Swap(i, j int) {
+	s.reqs[i], s.reqs[j] = s.reqs[j], s.reqs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
 // scanSort reorders the round's requests as a C-SCAN sweep: ascending
 // next-block cylinder starting from the head's current position,
 // wrapping. Requests without a known position keep their arrival order
-// at the end of the sweep.
+// at the end of the sweep. Keys are computed once per request into the
+// manager's scratch storage, and the typical small round (n ≤ 16) is
+// ordered by a stable insertion sort with no sort.Interface traffic.
 func (m *Manager) scanSort(act []*request) {
 	head := m.d.HeadCylinder(0)
 	nc := m.d.Geometry().Cylinders
-	keyOf := func(r *request) int {
-		cyl, ok := m.nextCylinder(r)
-		if !ok {
-			return 2 * nc // after every positioned request
+	keys := m.sorter.keys[:0]
+	for _, r := range act {
+		k := 2 * nc // after every positioned request
+		if cyl, ok := m.nextCylinder(r); ok {
+			k = cyl - head
+			if k < 0 {
+				k += nc
+			}
 		}
-		d := cyl - head
-		if d < 0 {
-			d += nc
-		}
-		return d
+		keys = append(keys, k)
 	}
-	sort.SliceStable(act, func(i, j int) bool { return keyOf(act[i]) < keyOf(act[j]) })
+	m.sorter.keys = keys
+	if len(act) <= 16 {
+		for i := 1; i < len(act); i++ {
+			k, r := keys[i], act[i]
+			j := i - 1
+			for j >= 0 && keys[j] > k {
+				keys[j+1], act[j+1] = keys[j], act[j]
+				j--
+			}
+			keys[j+1], act[j+1] = k, r
+		}
+		return
+	}
+	m.sorter.reqs = act
+	sort.Stable(&m.sorter)
+	m.sorter.reqs = nil
 }
 
 // serviceRequest transfers up to k blocks for the request; reports
-// whether any disk work happened.
+// whether any work happened.
 func (m *Manager) serviceRequest(r *request, k int) bool {
-	switch r.kind {
-	case Play:
+	switch {
+	case r.kind == Play && r.cacheServed:
+		return m.serviceCached(r, k)
+	case r.kind == Play:
 		return m.servicePlay(r, k)
 	default:
 		return m.serviceRecord(r, k)
 	}
+}
+
+// serviceCached serves a cache-served follower: blocks come from the
+// interval cache at zero disk time (silence blocks are regenerated
+// directly from the strand, also free). Display-buffer regulation and
+// deadline bookkeeping are identical to the disk path. A Wait (the
+// leader has not produced the block yet) simply ends this request's
+// turn; a Miss marks the interval broken and the demotion runs at the
+// top of the next round.
+func (m *Manager) serviceCached(r *request, k int) bool {
+	ps := r.play
+	id := uint64(r.id)
+	served := 0
+	for served < k {
+		if ps.nextFetch >= len(ps.plan.Blocks) {
+			break
+		}
+		if ps.started && m.occupancy(ps) >= ps.plan.Buffers {
+			break // regulation: never overflow the display subsystem
+		}
+		b := ps.plan.Blocks[ps.nextFetch]
+		e, err := b.Reader.Strand().Block(b.Index)
+		if err != nil {
+			ps.violations = append(ps.violations, Violation{Block: ps.nextFetch, Deadline: m.clock.Now(), Actual: m.clock.Now()})
+			r.done = true
+			m.closeCacheStream(r)
+			return true
+		}
+		if e.Silent() {
+			// Silence blocks cost no disk time on the disk path
+			// either; regenerate directly and advance the position.
+			if _, _, _, rerr := b.Reader.ReadBlock(0, b.Index); rerr != nil {
+				ps.violations = append(ps.violations, Violation{Block: ps.nextFetch, Deadline: m.clock.Now(), Actual: m.clock.Now()})
+				r.done = true
+				m.closeCacheStream(r)
+				return true
+			}
+			m.cache.Produced(id, b.Index)
+			m.stats.SilenceBlocks++
+		} else {
+			_, res := m.cache.Get(id, b.Index)
+			switch res {
+			case cache.Wait:
+				return served > 0
+			case cache.Miss:
+				r.needsDemote = true
+				return served > 0
+			case cache.Hit:
+			}
+			ps.cacheHits++
+			m.stats.CacheHits++
+		}
+		arrival := m.clock.Now()
+		j := ps.nextFetch
+		ps.nextFetch++
+		m.stats.BlocksFetched++
+		if ps.started {
+			if dl := ps.deadline(j); arrival > dl {
+				ps.violations = append(ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
+			}
+		}
+		ps.fetchDone = arrival
+		served++
+		if !ps.started && ps.nextFetch >= ps.readAhead {
+			ps.started = true
+			ps.startTime = arrival
+		}
+	}
+	return served > 0
 }
 
 // servicePlay fetches up to k blocks for a play request, respecting
@@ -570,17 +841,37 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 				// absent): consumes playback time, no disk work.
 				continue
 			}
-			_, t, silent, err := b.Reader.ReadBlock(i%m.d.Heads(), b.Index)
+			if ps.cacheOpen {
+				// Consult the cache before the timed disk read: a
+				// block still resident (pinned by an interval or
+				// retained by the LRU from an earlier play) costs
+				// zero disk time.
+				if _, res := m.cache.Get(uint64(r.id), b.Index); res == cache.Hit {
+					ps.cacheHits++
+					m.stats.CacheHits++
+					continue
+				}
+			}
+			data, t, silent, err := b.Reader.ReadBlock(i%m.d.Heads(), b.Index)
 			if err != nil {
 				// A broken plan is a programming error in the layers
 				// above; record it as a violation at this block and
 				// stop the request.
 				ps.violations = append(ps.violations, Violation{Block: first + i, Deadline: m.clock.Now(), Actual: m.clock.Now()})
 				r.done = true
+				m.closeCacheStream(r)
 				return true
 			}
 			if silent {
 				m.stats.SilenceBlocks++
+				if ps.cacheOpen {
+					// Silence is regenerated on read, never cached.
+					m.cache.Produced(uint64(r.id), b.Index)
+				}
+			} else if ps.cacheOpen {
+				// Feed the interval cache: a follower's pin, or plain
+				// LRU residency for future adoptions.
+				m.cache.Put(uint64(r.id), b.Index, data)
 			}
 			if t > maxT {
 				maxT = t
@@ -618,13 +909,26 @@ func (m *Manager) occupancy(ps *playState) int {
 	if !ps.started {
 		return ps.nextFetch
 	}
-	elapsed := m.clock.Now() - ps.startTime
-	// Blocks are released when their display completes: block i at
-	// offset deadlines[i+1].
-	released := sort.Search(ps.nextFetch, func(i int) bool {
-		return ps.deadlines[i+1] > elapsed
-	})
-	return ps.nextFetch - released
+	return ps.nextFetch - ps.releasedBlocks(m.clock.Now()-ps.startTime)
+}
+
+// releasedBlocks counts the fetched blocks whose display has completed
+// by elapsed: the smallest i with deadlines[i+1] > elapsed. Blocks are
+// released when their display completes — block i at offset
+// deadlines[i+1]. (Open-coded binary search: this runs several times
+// per serviced block, and the sort.Search closure was a measurable
+// share of the round loop.)
+func (ps *playState) releasedBlocks(elapsed time.Duration) int {
+	lo, hi := 0, ps.nextFetch
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ps.deadlines[mid+1] > elapsed {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // serviceRecord writes up to k captured blocks for a record request,
@@ -687,7 +991,8 @@ func (m *Manager) serviceRecord(r *request, k int) bool {
 }
 
 // nextWorkTime finds the earliest virtual time at which any active
-// request will have disk work; ok is false when none will.
+// request will have work; ok is false when none will. It iterates the
+// request table directly rather than materializing active().
 func (m *Manager) nextWorkTime() (time.Duration, bool) {
 	var best time.Duration
 	found := false
@@ -696,11 +1001,20 @@ func (m *Manager) nextWorkTime() (time.Duration, bool) {
 			best, found = t, true
 		}
 	}
-	for _, r := range m.active() {
+	for _, r := range m.reqs {
+		if r.done || r.pause != nil || r.demoting {
+			continue
+		}
 		switch r.kind {
 		case Play:
 			ps := r.play
 			if ps.nextFetch >= len(ps.plan.Blocks) {
+				continue
+			}
+			// A Wait-blocked follower has no work of its own: its
+			// leader's next fetch (which advances the clock) or its
+			// own demotion will unblock it.
+			if r.cacheServed && !m.cachedCanWork(r) {
 				continue
 			}
 			if !ps.started || m.occupancy(ps) < ps.plan.Buffers {
@@ -709,10 +1023,7 @@ func (m *Manager) nextWorkTime() (time.Duration, bool) {
 			}
 			// Next buffer release: the oldest unreleased block
 			// finishes display.
-			elapsed := m.clock.Now() - ps.startTime
-			released := sort.Search(ps.nextFetch, func(i int) bool {
-				return ps.deadlines[i+1] > elapsed
-			})
+			released := ps.releasedBlocks(m.clock.Now() - ps.startTime)
 			note(ps.startTime + ps.deadlines[released+1])
 		case Record:
 			rs := r.rec
@@ -723,4 +1034,17 @@ func (m *Manager) nextWorkTime() (time.Duration, bool) {
 		}
 	}
 	return best, found
+}
+
+// cachedCanWork reports whether a cache-served request's next block is
+// serviceable now (resident, silent, or a miss that triggers
+// demotion) as opposed to waiting on its leader.
+func (m *Manager) cachedCanWork(r *request) bool {
+	ps := r.play
+	b := ps.plan.Blocks[ps.nextFetch]
+	e, err := b.Reader.Strand().Block(b.Index)
+	if err != nil || e.Silent() {
+		return true
+	}
+	return m.cache.Peek(uint64(r.id), b.Index) != cache.Wait
 }

@@ -149,6 +149,18 @@ type request struct {
 	rec   *recordState
 	done  bool
 	pause *pauseState
+	// cacheServed marks a request admitted as an interval-cache
+	// follower: it charges no disk time and is excluded from the
+	// admission set until demoted.
+	cacheServed bool
+	// needsDemote is set when a cache-served request misses (its
+	// interval broke); processDemotions resolves it at the top of the
+	// next round.
+	needsDemote bool
+	// demoting excludes the request from service while its own
+	// demotion re-runs admission (whose transition rounds recurse into
+	// RunRound).
+	demoting bool
 }
 
 // playState tracks a PLAY request.
@@ -164,6 +176,15 @@ type playState struct {
 	violations []Violation
 	// fetchDone is when the last fetched block's read completed.
 	fetchDone time.Duration
+	// Interval-cache state: a plan is cacheEligible when it reads one
+	// strand at consecutive block indices (see planCacheRange);
+	// cacheOpen tracks whether the manager currently holds a cache
+	// stream for it.
+	cacheEligible bool
+	cacheOpen     bool
+	cacheSID      strand.ID
+	cacheEnd      int
+	cacheHits     int
 }
 
 // recordState tracks a RECORD request.
@@ -197,4 +218,34 @@ type Progress struct {
 	BlocksTotal int
 	// StartTime is when display/capture began (virtual time).
 	StartTime time.Duration
+	// CacheHits is blocks served from the interval cache (play only).
+	CacheHits int
+	// CacheServed reports the request is currently an interval-cache
+	// follower charging no disk time.
+	CacheServed bool
+}
+
+// planCacheRange reports the strand block range a play plan covers
+// when it is interval-cache eligible: every block read from the same
+// strand at consecutive indices. FF/REW skip plans, cross-strand rope
+// plans, and plans with pure-delay blocks are ineligible.
+func planCacheRange(plan PlayPlan) (sid strand.ID, first, end int, ok bool) {
+	var st *strand.Strand
+	for i, b := range plan.Blocks {
+		if b.Reader == nil {
+			return 0, 0, 0, false
+		}
+		if i == 0 {
+			st = b.Reader.Strand()
+			first = b.Index
+			continue
+		}
+		if b.Reader.Strand() != st || b.Index != first+i {
+			return 0, 0, 0, false
+		}
+	}
+	if st == nil {
+		return 0, 0, 0, false
+	}
+	return st.ID(), first, first + len(plan.Blocks), true
 }

@@ -120,10 +120,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		var resp []byte
 		if err != nil {
 			resp = wire.ErrResponse(err)
-		} else if out, herr := s.handle(op, body); herr != nil {
-			resp = wire.ErrResponse(herr)
 		} else {
-			resp = wire.OKResponse(out)
+			resp = s.handle(op, body)
 		}
 		if err := wire.WriteFrame(conn, resp); err != nil {
 			return
@@ -131,65 +129,71 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// handle dispatches one request under the file system lock.
-func (s *Server) handle(op wire.Op, body []byte) ([]byte, error) {
+// handle dispatches one request under the file system lock and returns
+// the framed response. The reply encoder comes from the wire free
+// list; OKResponse copies the body before the encoder is recycled.
+func (s *Server) handle(op wire.Op, body []byte) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d := wire.NewDecoder(body)
-	var out []byte
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	var err error
 	switch op {
 	case wire.OpRecordStart:
-		out, err = s.recordStart(d)
+		err = s.recordStart(d, e)
 	case wire.OpRecordAppend:
-		out, err = s.recordAppend(d)
+		err = s.recordAppend(d, e)
 	case wire.OpRecordFinish:
-		out, err = s.recordFinish(d)
+		err = s.recordFinish(d, e)
 	case wire.OpPlay:
-		out, err = s.play(d)
+		err = s.play(d, e)
 	case wire.OpFetch:
-		out, err = s.fetch(d)
+		err = s.fetch(d, e)
 	case wire.OpInsert:
-		out, err = s.insert(d)
+		err = s.insert(d, e)
 	case wire.OpReplace:
-		out, err = s.replace(d)
+		err = s.replace(d, e)
 	case wire.OpSubstring:
-		out, err = s.substring(d)
+		err = s.substring(d, e)
 	case wire.OpConcate:
-		out, err = s.concate(d)
+		err = s.concate(d, e)
 	case wire.OpDeleteRange:
-		out, err = s.deleteRange(d)
+		err = s.deleteRange(d, e)
 	case wire.OpDeleteRope:
-		out, err = s.deleteRope(d)
+		err = s.deleteRope(d, e)
 	case wire.OpRopeInfo:
-		out, err = s.ropeInfo(d)
+		err = s.ropeInfo(d, e)
 	case wire.OpListRopes:
-		out, err = s.listRopes(d)
+		err = s.listRopes(d, e)
 	case wire.OpStats:
-		out, err = s.stats(d)
+		err = s.stats(d, e)
 	case wire.OpTextWrite:
-		out, err = s.textWrite(d)
+		err = s.textWrite(d, e)
 	case wire.OpTextRead:
-		out, err = s.textRead(d)
+		err = s.textRead(d, e)
 	case wire.OpTextList:
-		out, err = s.textList(d)
+		err = s.textList(d, e)
 	case wire.OpSetAccess:
-		out, err = s.setAccess(d)
+		err = s.setAccess(d, e)
 	case wire.OpCheck:
-		out, err = s.check(d)
+		err = s.check(d, e)
 	case wire.OpAddTrigger:
-		out, err = s.addTrigger(d)
+		err = s.addTrigger(d, e)
 	case wire.OpTriggers:
-		out, err = s.triggers(d)
+		err = s.triggers(d, e)
 	case wire.OpFlatten:
-		out, err = s.flatten(d)
+		err = s.flatten(d, e)
 	default:
-		return nil, fmt.Errorf("server: unknown op %v", op)
+		return wire.ErrResponse(fmt.Errorf("server: unknown op %v", op))
 	}
 	if err == nil && d.Err() != nil {
 		err = fmt.Errorf("server: malformed %v request: %w", op, d.Err())
 	}
-	return out, err
+	if err != nil {
+		return wire.ErrResponse(err)
+	}
+	return wire.OKResponse(e.Bytes())
 }
 
 // DecodeMedium maps the wire medium code to a rope selector.
@@ -218,7 +222,7 @@ func EncodeMedium(m rope.Medium) uint16 {
 }
 
 // recordStart opens an upload session. The caller must hold s.mu.
-func (s *Server) recordStart(d *wire.Decoder) ([]byte, error) {
+func (s *Server) recordStart(d *wire.Decoder, e *wire.Encoder) error {
 	creator := d.Str()
 	hasVideo := d.Bool()
 	vUnitBytes := d.U32()
@@ -229,13 +233,13 @@ func (s *Server) recordStart(d *wire.Decoder) ([]byte, error) {
 	silence := d.Bool()
 	hetero := d.Bool()
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	if !hasVideo && !hasAudio {
-		return nil, fmt.Errorf("server: RECORD needs at least one medium")
+		return fmt.Errorf("server: RECORD needs at least one medium")
 	}
 	if hetero && (!hasVideo || !hasAudio) {
-		return nil, fmt.Errorf("server: heterogeneous RECORD needs both media")
+		return fmt.Errorf("server: heterogeneous RECORD needs both media")
 	}
 	sess := &recordSession{creator: creator, silence: silence, hetero: hetero}
 	if hasVideo {
@@ -247,17 +251,18 @@ func (s *Server) recordStart(d *wire.Decoder) ([]byte, error) {
 	id := s.nextSess
 	s.nextSess++
 	s.sessions[id] = sess
-	return wire.NewEncoder().U64(id).Bytes(), nil
+	e.U64(id)
+	return nil
 }
 
 // recordAppend buffers uploaded units. The caller must hold s.mu.
-func (s *Server) recordAppend(d *wire.Decoder) ([]byte, error) {
+func (s *Server) recordAppend(d *wire.Decoder, e *wire.Encoder) error {
 	id := d.U64()
 	mediumCode := d.U16()
 	count := d.U32()
 	sess, ok := s.sessions[id]
 	if !ok {
-		return nil, fmt.Errorf("server: unknown record session %d", id)
+		return fmt.Errorf("server: unknown record session %d", id)
 	}
 	var buf *mediaBuf
 	switch mediumCode {
@@ -266,31 +271,31 @@ func (s *Server) recordAppend(d *wire.Decoder) ([]byte, error) {
 	case 2:
 		buf = sess.audio
 	default:
-		return nil, fmt.Errorf("server: append needs a single medium, got code %d", mediumCode)
+		return fmt.Errorf("server: append needs a single medium, got code %d", mediumCode)
 	}
 	if buf == nil {
-		return nil, fmt.Errorf("server: session %d does not record that medium", id)
+		return fmt.Errorf("server: session %d does not record that medium", id)
 	}
 	for i := uint32(0); i < count; i++ {
 		payload := d.Blob()
 		if d.Err() != nil {
-			return nil, d.Err()
+			return d.Err()
 		}
 		if len(payload) != buf.unitBytes {
-			return nil, fmt.Errorf("server: unit of %d bytes, session expects %d", len(payload), buf.unitBytes)
+			return fmt.Errorf("server: unit of %d bytes, session expects %d", len(payload), buf.unitBytes)
 		}
 		buf.units = append(buf.units, media.Unit{Seq: uint64(len(buf.units)), Payload: payload})
 	}
-	return nil, nil
+	return nil
 }
 
 // recordFinish replays a session through the storage manager. The
 // caller must hold s.mu.
-func (s *Server) recordFinish(d *wire.Decoder) ([]byte, error) {
+func (s *Server) recordFinish(d *wire.Decoder, e *wire.Encoder) error {
 	id := d.U64()
 	sess, ok := s.sessions[id]
 	if !ok {
-		return nil, fmt.Errorf("server: unknown record session %d", id)
+		return fmt.Errorf("server: unknown record session %d", id)
 	}
 	delete(s.sessions, id)
 	spec := core.RecordSpec{Creator: sess.creator, SilenceElimination: sess.silence, Heterogeneous: sess.hetero}
@@ -302,109 +307,113 @@ func (s *Server) recordFinish(d *wire.Decoder) ([]byte, error) {
 	}
 	rec, err := s.fs.Record(spec)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.fs.Manager().RunUntilDone()
 	r, err := rec.Finish()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.fs.Sync(); err != nil {
-		return nil, err
+		return err
 	}
-	return wire.NewEncoder().U64(uint64(r.ID)).I64(int64(r.Length())).Bytes(), nil
+	e.U64(uint64(r.ID)).I64(int64(r.Length()))
+	return nil
 }
 
-func (s *Server) play(d *wire.Decoder) ([]byte, error) {
+func (s *Server) play(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	id := rope.ID(d.U64())
 	medium, err := DecodeMedium(d.U16())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	start := time.Duration(d.I64())
 	dur := time.Duration(d.I64())
 	readAhead := int(d.U32())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	h, err := s.fs.Play(user, id, medium, start, dur, msm.PlanOptions{ReadAhead: readAhead})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.fs.Manager().RunUntilDone()
 	violations, err := s.fs.PlayViolations(h)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var blocks int
+	var blocks, cacheHits int
 	var startAt time.Duration
 	for _, req := range h.Requests() {
 		p, err := s.fs.Manager().Progress(req)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		blocks += p.BlocksServed
+		cacheHits += p.CacheHits
 		if p.StartTime > startAt {
 			startAt = p.StartTime
 		}
 	}
-	return wire.NewEncoder().U32(uint32(violations)).U32(uint32(blocks)).I64(int64(startAt)).Bytes(), nil
+	e.U32(uint32(violations)).U32(uint32(blocks)).I64(int64(startAt)).U32(uint32(cacheHits))
+	return nil
 }
 
-func (s *Server) fetch(d *wire.Decoder) ([]byte, error) {
+func (s *Server) fetch(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	id := rope.ID(d.U64())
 	medium, err := DecodeMedium(d.U16())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	start := time.Duration(d.I64())
 	dur := time.Duration(d.I64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	units, err := s.fs.FetchUnits(user, id, medium, start, dur)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	e := wire.NewEncoder().U32(uint32(len(units)))
+	e.U32(uint32(len(units)))
 	for _, u := range units {
 		e.Blob(u)
 	}
-	return e.Bytes(), nil
+	return nil
 }
 
-func (s *Server) insert(d *wire.Decoder) ([]byte, error) {
+func (s *Server) insert(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	base := rope.ID(d.U64())
 	pos := time.Duration(d.I64())
 	medium, err := DecodeMedium(d.U16())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	with := rope.ID(d.U64())
 	wStart := time.Duration(d.I64())
 	wDur := time.Duration(d.I64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	res, err := s.fs.Insert(user, base, pos, medium, with, wStart, wDur)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.fs.Sync(); err != nil {
-		return nil, err
+		return err
 	}
-	return wire.NewEncoder().U32(uint32(res.CopiedBlocks())).Bytes(), nil
+	e.U32(uint32(res.CopiedBlocks()))
+	return nil
 }
 
-func (s *Server) replace(d *wire.Decoder) ([]byte, error) {
+func (s *Server) replace(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	base := rope.ID(d.U64())
 	medium, err := DecodeMedium(d.U16())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	bStart := time.Duration(d.I64())
 	bDur := time.Duration(d.I64())
@@ -412,164 +421,179 @@ func (s *Server) replace(d *wire.Decoder) ([]byte, error) {
 	wStart := time.Duration(d.I64())
 	wDur := time.Duration(d.I64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	res, err := s.fs.Replace(user, base, medium, bStart, bDur, with, wStart, wDur)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.fs.Sync(); err != nil {
-		return nil, err
+		return err
 	}
-	return wire.NewEncoder().U32(uint32(res.CopiedBlocks())).Bytes(), nil
+	e.U32(uint32(res.CopiedBlocks()))
+	return nil
 }
 
-func (s *Server) substring(d *wire.Decoder) ([]byte, error) {
+func (s *Server) substring(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	base := rope.ID(d.U64())
 	medium, err := DecodeMedium(d.U16())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	start := time.Duration(d.I64())
 	dur := time.Duration(d.I64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	out, _, err := s.fs.Substring(user, base, medium, start, dur)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.fs.Sync(); err != nil {
-		return nil, err
+		return err
 	}
-	return wire.NewEncoder().U64(uint64(out.ID)).Bytes(), nil
+	e.U64(uint64(out.ID))
+	return nil
 }
 
-func (s *Server) concate(d *wire.Decoder) ([]byte, error) {
+func (s *Server) concate(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	r1 := rope.ID(d.U64())
 	r2 := rope.ID(d.U64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	out, res, err := s.fs.Concate(user, r1, r2)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.fs.Sync(); err != nil {
-		return nil, err
+		return err
 	}
-	return wire.NewEncoder().U64(uint64(out.ID)).U32(uint32(res.CopiedBlocks())).Bytes(), nil
+	e.U64(uint64(out.ID)).U32(uint32(res.CopiedBlocks()))
+	return nil
 }
 
-func (s *Server) deleteRange(d *wire.Decoder) ([]byte, error) {
+func (s *Server) deleteRange(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	base := rope.ID(d.U64())
 	medium, err := DecodeMedium(d.U16())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	start := time.Duration(d.I64())
 	dur := time.Duration(d.I64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	res, err := s.fs.DeleteRange(user, base, medium, start, dur)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.fs.Sync(); err != nil {
-		return nil, err
+		return err
 	}
-	return wire.NewEncoder().U32(uint32(res.CopiedBlocks())).Bytes(), nil
+	e.U32(uint32(res.CopiedBlocks()))
+	return nil
 }
 
-func (s *Server) deleteRope(d *wire.Decoder) ([]byte, error) {
+func (s *Server) deleteRope(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	id := rope.ID(d.U64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	reclaimed, err := s.fs.DeleteRope(user, id)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.fs.Sync(); err != nil {
-		return nil, err
+		return err
 	}
-	return wire.NewEncoder().U32(uint32(len(reclaimed))).Bytes(), nil
+	e.U32(uint32(len(reclaimed)))
+	return nil
 }
 
-func (s *Server) ropeInfo(d *wire.Decoder) ([]byte, error) {
+func (s *Server) ropeInfo(d *wire.Decoder, e *wire.Encoder) error {
 	id := rope.ID(d.U64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	r, ok := s.fs.Ropes().Get(id)
 	if !ok {
-		return nil, fmt.Errorf("server: unknown rope %d", id)
+		return fmt.Errorf("server: unknown rope %d", id)
 	}
 	hasVideo, hasAudio := r.Components()
-	return wire.NewEncoder().
-		Str(r.Creator).
+	e.Str(r.Creator).
 		I64(int64(r.Length())).
 		U32(uint32(len(r.Intervals))).
 		Bool(hasVideo).
 		Bool(hasAudio).
-		U32(uint32(len(r.Strands()))).
-		Bytes(), nil
+		U32(uint32(len(r.Strands())))
+	return nil
 }
 
-func (s *Server) listRopes(d *wire.Decoder) ([]byte, error) {
+func (s *Server) listRopes(d *wire.Decoder, e *wire.Encoder) error {
 	ids := s.fs.Ropes().IDs()
-	e := wire.NewEncoder().U32(uint32(len(ids)))
+	e.U32(uint32(len(ids)))
 	for _, id := range ids {
 		e.U64(uint64(id))
 	}
-	return e.Bytes(), nil
+	return nil
 }
 
-func (s *Server) stats(d *wire.Decoder) ([]byte, error) {
-	st := s.fs.Manager().Stats()
-	return wire.NewEncoder().
-		F64(s.fs.Occupancy()).
+func (s *Server) stats(d *wire.Decoder, e *wire.Encoder) error {
+	mgr := s.fs.Manager()
+	st := mgr.Stats()
+	e.F64(s.fs.Occupancy()).
 		U32(uint32(s.fs.Strands().Len())).
 		U32(uint32(s.fs.Ropes().Len())).
 		U64(st.Rounds).
-		U32(uint32(s.fs.Manager().K())).
-		U32(uint32(s.fs.Manager().ActiveRequests())).
-		Bytes(), nil
+		U32(uint32(mgr.K())).
+		U32(uint32(mgr.ActiveRequests())).
+		// Interval-cache section: live cache-served followers, lifetime
+		// hit count, then the cache's own occupancy snapshot (zeros
+		// when caching is disabled).
+		U32(uint32(mgr.CacheServed())).
+		U64(st.CacheHits)
+	var bytes, capacity uint64
+	var intervals uint32
+	if c := mgr.Cache(); c != nil {
+		cs := c.Stats()
+		bytes, capacity = uint64(cs.Bytes), uint64(cs.Capacity)
+		intervals = uint32(cs.Intervals)
+	}
+	e.U64(bytes).U64(capacity).U32(intervals)
+	return nil
 }
 
-func (s *Server) textWrite(d *wire.Decoder) ([]byte, error) {
+func (s *Server) textWrite(d *wire.Decoder, e *wire.Encoder) error {
 	name := d.Str()
 	data := d.Blob()
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	if err := s.fs.Text().Write(name, data); err != nil {
-		return nil, err
+		return err
 	}
-	if err := s.fs.Sync(); err != nil {
-		return nil, err
-	}
-	return nil, nil
+	return s.fs.Sync()
 }
 
-func (s *Server) textRead(d *wire.Decoder) ([]byte, error) {
+func (s *Server) textRead(d *wire.Decoder, e *wire.Encoder) error {
 	name := d.Str()
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	data, err := s.fs.Text().Read(name)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return wire.NewEncoder().Blob(data).Bytes(), nil
+	e.Blob(data)
+	return nil
 }
 
-func (s *Server) setAccess(d *wire.Decoder) ([]byte, error) {
+func (s *Server) setAccess(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	id := rope.ID(d.U64())
 	nPlay := d.U32()
@@ -583,92 +607,87 @@ func (s *Server) setAccess(d *wire.Decoder) ([]byte, error) {
 		edit = append(edit, d.Str())
 	}
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	r, ok := s.fs.Ropes().Get(id)
 	if !ok {
-		return nil, fmt.Errorf("server: unknown rope %d", id)
+		return fmt.Errorf("server: unknown rope %d", id)
 	}
 	if user != r.Creator {
-		return nil, fmt.Errorf("server: only the creator may change access lists of rope %d", id)
+		return fmt.Errorf("server: only the creator may change access lists of rope %d", id)
 	}
 	r.PlayAccess = play
 	r.EditAccess = edit
-	if err := s.fs.Sync(); err != nil {
-		return nil, err
-	}
-	return nil, nil
+	return s.fs.Sync()
 }
 
-func (s *Server) addTrigger(d *wire.Decoder) ([]byte, error) {
+func (s *Server) addTrigger(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	id := rope.ID(d.U64())
 	at := time.Duration(d.I64())
 	text := d.Str()
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	if err := s.fs.AddTrigger(user, id, at, text); err != nil {
-		return nil, err
+		return err
 	}
-	if err := s.fs.Sync(); err != nil {
-		return nil, err
-	}
-	return nil, nil
+	return s.fs.Sync()
 }
 
-func (s *Server) triggers(d *wire.Decoder) ([]byte, error) {
+func (s *Server) triggers(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	id := rope.ID(d.U64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	trigs, err := s.fs.Triggers(user, id)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	e := wire.NewEncoder().U32(uint32(len(trigs)))
+	e.U32(uint32(len(trigs)))
 	for _, t := range trigs {
 		e.I64(int64(t.At))
 		e.Str(t.Text)
 	}
-	return e.Bytes(), nil
+	return nil
 }
 
-func (s *Server) flatten(d *wire.Decoder) ([]byte, error) {
+func (s *Server) flatten(d *wire.Decoder, e *wire.Encoder) error {
 	user := d.Str()
 	id := rope.ID(d.U64())
 	if d.Err() != nil {
-		return nil, d.Err()
+		return d.Err()
 	}
 	res, err := s.fs.Flatten(user, id)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.fs.Sync(); err != nil {
-		return nil, err
+		return err
 	}
-	return wire.NewEncoder().U32(uint32(len(res.Reclaimed))).Bytes(), nil
+	e.U32(uint32(len(res.Reclaimed)))
+	return nil
 }
 
-func (s *Server) check(d *wire.Decoder) ([]byte, error) {
+func (s *Server) check(d *wire.Decoder, e *wire.Encoder) error {
 	if err := s.fs.Sync(); err != nil {
-		return nil, err
+		return err
 	}
 	problems := s.fs.Check()
-	e := wire.NewEncoder().U32(uint32(len(problems)))
+	e.U32(uint32(len(problems)))
 	for _, p := range problems {
 		e.Str(p.Kind)
 		e.Str(p.Detail)
 	}
-	return e.Bytes(), nil
+	return nil
 }
 
-func (s *Server) textList(d *wire.Decoder) ([]byte, error) {
+func (s *Server) textList(d *wire.Decoder, e *wire.Encoder) error {
 	names := s.fs.Text().List()
-	e := wire.NewEncoder().U32(uint32(len(names)))
+	e.U32(uint32(len(names)))
 	for _, n := range names {
 		e.Str(n)
 	}
-	return e.Bytes(), nil
+	return nil
 }

@@ -138,6 +138,39 @@ type Encoder struct {
 // NewEncoder returns an empty encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
 
+// Reset empties the encoder for reuse, keeping its buffer capacity.
+func (e *Encoder) Reset() { e.buf.Reset() }
+
+// encPool recycles encoders across server replies; a channel free list
+// keeps this dependency-free and safe for concurrent handlers. The
+// bound caps idle memory, not concurrency: when the pool is empty,
+// GetEncoder simply allocates.
+var encPool = make(chan *Encoder, 16)
+
+// GetEncoder returns an empty encoder from the pool, or a new one.
+func GetEncoder() *Encoder {
+	select {
+	case e := <-encPool:
+		e.Reset()
+		return e
+	default:
+		return NewEncoder()
+	}
+}
+
+// PutEncoder returns an encoder to the pool for reuse. The caller must
+// not retain the encoder or any slice returned by Bytes afterwards
+// (frame the body with OKResponse, which copies, before releasing).
+func PutEncoder(e *Encoder) {
+	if e == nil {
+		return
+	}
+	select {
+	case encPool <- e:
+	default:
+	}
+}
+
 // Bytes returns the encoded body.
 func (e *Encoder) Bytes() []byte { return e.buf.Bytes() }
 
