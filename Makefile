@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages whose tests exercise real goroutine concurrency; the race
 # subset keeps CI latency down while still covering every mutex.
-RACE_PKGS = ./internal/server ./internal/msm ./internal/client
+RACE_PKGS = ./internal/server ./internal/msm ./internal/client ./internal/cache ./internal/obs
 
-.PHONY: all build test race lint bench fuzz clean
+.PHONY: all build test race lint bench bench-baseline bench-compare fuzz clean
 
 all: build lint test
 
@@ -28,6 +28,17 @@ lint:
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x . | tee bench.out
 	$(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json < bench.out
+
+# Refresh the committed regression baseline. Wall-clock ns/op is
+# stripped: only the deterministic simulated-disk metrics (disk busy
+# time, blocks, cache hit ratio) are stable across machines.
+bench-baseline:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -strip-wallclock -out bench/baseline.json
+
+# Gate the working tree against the committed baseline (what CI runs).
+bench-compare:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/current.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 0.15 bench/baseline.json bench/current.json
 
 # Short fuzz pass over the wire codec; lengthen -fuzztime locally.
 fuzz:

@@ -303,6 +303,7 @@ func BenchmarkRopePlanCompile(b *testing.B) {
 func BenchmarkPlaybackRound(b *testing.B) {
 	fs, r := benchFS(b)
 	before := fs.Disk().Stats()
+	snap0 := fs.Metrics().Snapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mgr := fs.NewManager()
@@ -323,6 +324,16 @@ func BenchmarkPlaybackRound(b *testing.B) {
 	after := fs.Disk().Stats()
 	b.ReportMetric(float64((after.BusyTime()-before.BusyTime()).Milliseconds())/float64(b.N), "disk_busy_ms/op")
 	b.ReportMetric(float64(after.Reads-before.Reads)/float64(b.N), "disk_blocks/op")
+	// The same work as seen by the observability registry: obs-sourced
+	// values must track the raw disk stats, and archiving both lets the
+	// CI compare catch a divergence between the two accountings.
+	snap1 := fs.Metrics().Snapshot()
+	r0, _ := snap0.Counter("mmfs_rounds_total")
+	r1, _ := snap1.Counter("mmfs_rounds_total")
+	b.ReportMetric(float64(r1-r0)/float64(b.N), "rounds/op")
+	b0, _ := snap0.Counter("mmfs_disk_busy_ns_total")
+	b1, _ := snap1.Counter("mmfs_disk_busy_ns_total")
+	b.ReportMetric(float64(b1-b0)/1e6/float64(b.N), "obs_disk_busy_ms/op")
 }
 
 // BenchmarkCachedConcurrentPlayback plays one rope four times at once
@@ -335,7 +346,7 @@ func BenchmarkCachedConcurrentPlayback(b *testing.B) {
 		mb   int
 	}{{"cache", 16}, {"nocache", 0}} {
 		b.Run(cfg.name, func(b *testing.B) {
-			var admitted, diskBlocks, hitPct float64
+			var admitted, diskBlocks, hitPct, obsHitPct float64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				fs, err := core.Format(core.Options{CacheMB: cfg.mb})
@@ -383,11 +394,21 @@ func BenchmarkCachedConcurrentPlayback(b *testing.B) {
 				if st.BlocksFetched > 0 {
 					hitPct += 100 * float64(st.CacheHits) / float64(st.BlocksFetched)
 				}
+				// Hit ratio as the observability registry reports it
+				// (the fs is fresh per iteration, so the counters cover
+				// exactly this iteration's work).
+				snap := fs.Metrics().Snapshot()
+				oh, _ := snap.Counter("mmfs_round_cache_hits_total")
+				of, _ := snap.Counter("mmfs_blocks_fetched_total")
+				if of > 0 {
+					obsHitPct += 100 * float64(oh) / float64(of)
+				}
 			}
 			n := float64(b.N)
 			b.ReportMetric(admitted/n, "n_admitted")
 			b.ReportMetric(diskBlocks/n, "disk_blocks")
 			b.ReportMetric(hitPct/n, "cache_hit_pct")
+			b.ReportMetric(obsHitPct/n, "obs_hit_pct")
 		})
 	}
 }

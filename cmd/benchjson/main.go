@@ -23,18 +23,59 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Summary aggregates the deterministic simulated-disk metrics across
+// all benchmarks in a report: total virtual disk busy milliseconds,
+// total blocks transferred, and the mean interval-cache hit ratio.
+// These come from the simulation's virtual clock, so they are stable
+// across CI runners and safe to gate regressions on.
+type Summary struct {
+	DiskBusyMs  float64 `json:"disk_busy_ms"`
+	DiskBlocks  float64 `json:"disk_blocks"`
+	CacheHitPct float64 `json:"cache_hit_pct,omitempty"`
+}
+
 // Report is the file benchjson writes.
 type Report struct {
 	Date       string      `json:"date"`
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
+	Summary    *Summary    `json:"summary,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	compare := flag.Bool("compare", false, "compare two report files (baseline new) instead of reading bench output")
+	tolerance := flag.Float64("tolerance", 0.15, "relative regression tolerance for -compare")
+	stripWallclock := flag.Bool("strip-wallclock", false, "omit ns/op from the written report (for committed baselines: wall clock is not comparable across runners, the simulated-disk metrics are)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance 0.15] baseline.json new.json")
+			os.Exit(2)
+		}
+		base, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		cur, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		regs := compareReports(base, cur, *tolerance)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline\n", len(cur.Benchmarks), *tolerance*100)
+		return
+	}
 
 	rep := Report{Date: time.Now().Format("2006-01-02")}
 	sc := bufio.NewScanner(os.Stdin)
@@ -59,6 +100,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	summarize(&rep)
+	if *stripWallclock {
+		for i := range rep.Benchmarks {
+			rep.Benchmarks[i].NsPerOp = 0
+		}
+	}
 	path := *out
 	if path == "" {
 		path = "BENCH_" + rep.Date + ".json"

@@ -19,6 +19,7 @@
 //	delete <base> <medium> <start> <dur>
 //	rm <rope>                               delete a rope
 //	stats                                   server statistics
+//	metrics                                 dump the server metrics registry (Prometheus text)
 //	text-put <name> <contents…>
 //	text-get <name>
 //	text-ls
@@ -45,7 +46,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mmfsctl [-addr host:port] <list|info|record|play|insert|replace|substring|concat|delete|rm|stats|check|trigger|triggers|flatten|text-put|text-get|text-ls> [args]")
+	fmt.Fprintln(os.Stderr, "usage: mmfsctl [-addr host:port] <list|info|record|play|insert|replace|substring|concat|delete|rm|stats|metrics|check|trigger|triggers|flatten|text-put|text-get|text-ls> [args]")
 	os.Exit(2)
 }
 
@@ -347,6 +348,14 @@ func main() {
 		if st.CacheCapacity > 0 {
 			fmt.Printf("cache:           %d/%d KiB, %d interval(s), %d cache-served play(s), %d hit(s)\n",
 				st.CacheBytes>>10, st.CacheCapacity>>10, st.CacheIntervals, st.CacheServed, st.CacheHits)
+		}
+	case "metrics":
+		snap, err := c.Metrics()
+		if err != nil {
+			die(err)
+		}
+		if err := snap.WritePrometheus(os.Stdout); err != nil {
+			die(err)
 		}
 	case "text-put":
 		if len(args) < 3 {

@@ -5,10 +5,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -16,6 +18,7 @@ import (
 
 	"mmfs/internal/core"
 	"mmfs/internal/disk"
+	"mmfs/internal/obs"
 	"mmfs/internal/server"
 )
 
@@ -29,6 +32,7 @@ func main() {
 		heads     = flag.Int("heads", 1, "independent head assemblies (degree of concurrency)")
 		target    = flag.Int("target-cylinders", 32, "placement policy: max cylinders between successive strand blocks")
 		cachemb   = flag.Int("cachemb", 0, "interval cache size in MiB (0 disables caching)")
+		metrics   = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics (Prometheus text) and /trace (service-round JSON); empty disables")
 	)
 	flag.Parse()
 
@@ -58,6 +62,19 @@ func main() {
 		log.Fatalf("mmfsd: listen: %v", err)
 	}
 	fmt.Printf("mmfsd: serving on %s\n", lis.Addr())
+
+	if *metrics != "" {
+		mlis, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("mmfsd: metrics listen: %v", err)
+		}
+		fmt.Printf("mmfsd: metrics on http://%s/metrics (trace at /trace)\n", mlis.Addr())
+		go func() {
+			if err := http.Serve(mlis, obs.Handler(fs.Metrics(), fs.Trace())); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("mmfsd: metrics serve: %v", err)
+			}
+		}()
+	}
 
 	srv := server.New(fs)
 	srv.Logf = log.Printf

@@ -14,7 +14,7 @@ func full(op wire.Op) string {
 	case wire.OpInsert, wire.OpReplace, wire.OpSubstring, wire.OpConcate,
 		wire.OpDeleteRange, wire.OpDeleteRope, wire.OpFlatten:
 		return "edit"
-	case wire.OpRopeInfo, wire.OpListRopes, wire.OpStats, wire.OpCheck:
+	case wire.OpRopeInfo, wire.OpListRopes, wire.OpStats, wire.OpMetrics, wire.OpCheck:
 		return "inspect"
 	case wire.OpTextWrite, wire.OpTextRead, wire.OpTextList:
 		return "text"

@@ -17,7 +17,10 @@
 // round loop (and the server above it) serialize access.
 package cache
 
-import "mmfs/internal/strand"
+import (
+	"mmfs/internal/obs"
+	"mmfs/internal/strand"
+)
 
 // Result classifies a Get.
 type Result int
@@ -97,6 +100,19 @@ type Cache struct {
 	// LRU list of unpinned entries, head = most recent.
 	head, tail *entry
 	stats      Stats
+	// obs mirrors the Stats counters into an observability registry;
+	// all fields nil when SetObs was never called.
+	obsHits, obsMisses, obsWaits     *obs.Counter
+	obsInserts, obsEvictions         *obs.Counter
+	obsAdoptions                     *obs.Counter
+	obsBytes, obsPinned, obsIntervals *obs.Gauge
+}
+
+// obsInc bumps an optional observability counter.
+func obsInc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
 }
 
 // New creates a cache with the given capacity in bytes.
@@ -113,6 +129,38 @@ func New(capacity int64) *Cache {
 
 // Capacity reports the configured capacity in bytes.
 func (c *Cache) Capacity() int64 { return c.capacity }
+
+// SetObs mirrors the cache's counters into an observability registry
+// (hit/miss/wait lookups, inserts, evictions, interval adoptions, and
+// residency gauges). Call once, at wiring time.
+func (c *Cache) SetObs(reg *obs.Registry) {
+	c.obsHits = reg.Counter("mmfs_cache_hits_total")
+	c.obsMisses = reg.Counter("mmfs_cache_misses_total")
+	c.obsWaits = reg.Counter("mmfs_cache_waits_total")
+	c.obsInserts = reg.Counter("mmfs_cache_inserts_total")
+	c.obsEvictions = reg.Counter("mmfs_cache_evictions_total")
+	c.obsAdoptions = reg.Counter("mmfs_cache_adoptions_total")
+	c.obsBytes = reg.Gauge("mmfs_cache_bytes")
+	c.obsPinned = reg.Gauge("mmfs_cache_pinned_bytes")
+	c.obsIntervals = reg.Gauge("mmfs_cache_intervals")
+	reg.Gauge("mmfs_cache_capacity_bytes").Set(c.capacity)
+}
+
+// syncGauges refreshes the residency gauges after a mutation.
+func (c *Cache) syncGauges() {
+	if c.obsBytes == nil {
+		return
+	}
+	c.obsBytes.Set(c.bytes)
+	c.obsPinned.Set(c.pinned)
+	intervals := 0
+	for _, t := range c.streams {
+		if t.leader != nil {
+			intervals++
+		}
+	}
+	c.obsIntervals.Set(int64(intervals))
+}
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
@@ -221,6 +269,8 @@ func (c *Cache) Adopt(id uint64) bool {
 	}
 	s.leader, l.follower = l, s
 	c.stats.Adoptions++
+	obsInc(c.obsAdoptions)
+	c.syncGauges()
 	return true
 }
 
@@ -232,6 +282,7 @@ func (c *Cache) Get(id uint64, index int) ([]byte, Result) {
 	s := c.streams[id]
 	if s == nil {
 		c.stats.Misses++
+		obsInc(c.obsMisses)
 		return nil, Miss
 	}
 	// Never read at or past the leader's position, even if the block
@@ -239,11 +290,13 @@ func (c *Cache) Get(id uint64, index int) ([]byte, Result) {
 	// level up the chain, and consuming it would reorder the chain).
 	if s.leader != nil && index >= s.leader.pos {
 		c.stats.Waits++
+		obsInc(c.obsWaits)
 		return nil, Wait
 	}
 	e := c.entries[blockKey{s.sid, index}]
 	if e == nil {
 		c.stats.Misses++
+		obsInc(c.obsMisses)
 		return nil, Miss
 	}
 	c.consume(s, e)
@@ -251,6 +304,8 @@ func (c *Cache) Get(id uint64, index int) ([]byte, Result) {
 		s.pos = index + 1
 	}
 	c.stats.Hits++
+	obsInc(c.obsHits)
+	c.syncGauges()
 	return e.data, Hit
 }
 
@@ -321,8 +376,10 @@ func (c *Cache) Put(id uint64, index int, data []byte) {
 	c.entries[key] = e
 	c.bytes += size
 	c.stats.Inserts++
+	obsInc(c.obsInserts)
 	c.lruPushFront(e)
 	c.claimOrTouch(s, e)
+	c.syncGauges()
 }
 
 // claimOrTouch pins the (resident) entry for the producing stream's
@@ -422,6 +479,7 @@ func (c *Cache) evictOne() bool {
 	}
 	c.removeEntry(e)
 	c.stats.Evictions++
+	obsInc(c.obsEvictions)
 	return true
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mmfs/internal/media"
+	"mmfs/internal/obs"
 	"mmfs/internal/rope"
 	"mmfs/internal/wire"
 )
@@ -392,6 +393,17 @@ func (c *Client) Stats() (ServerStats, error) {
 		CacheIntervals: int(d.U32()),
 	}
 	return st, d.Err()
+}
+
+// Metrics fetches a snapshot of every metric the server's
+// observability registry holds.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	d, err := c.call(wire.OpMetrics, nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	s := wire.DecodeSnapshot(d)
+	return s, d.Err()
 }
 
 // SetAccess replaces a rope's play and edit access lists; only the

@@ -18,6 +18,7 @@ import (
 	"mmfs/internal/disk"
 	"mmfs/internal/gc"
 	"mmfs/internal/msm"
+	"mmfs/internal/obs"
 	"mmfs/internal/rope"
 	"mmfs/internal/strand"
 	"mmfs/internal/textfs"
@@ -90,6 +91,12 @@ type FS struct {
 	mgr       *msm.Manager
 	dev       continuity.Device
 	text      *textfs.Store
+	// obsReg and obsRing are the file system's observability registry
+	// and service-round trace; they outlive manager replacements
+	// (NewManager re-wires the fresh manager into the same registry so
+	// counters continue across experiment trials).
+	obsReg  *obs.Registry
+	obsRing *obs.TraceRing
 
 	// metadata region bookkeeping
 	bitmapLBA     int
@@ -160,8 +167,28 @@ func build(opts Options, d *disk.Disk, a *alloc.Allocator) *FS {
 	if opts.CacheMB > 0 {
 		fs.mgr.SetCache(cache.New(int64(opts.CacheMB) << 20))
 	}
+	fs.obsReg = obs.NewRegistry()
+	fs.obsRing = obs.NewTraceRing(obs.DefaultTraceRounds)
+	fs.wireObs()
 	return fs
 }
+
+// wireObs connects the current disk, cache, and manager to the file
+// system's registry and trace ring.
+func (fs *FS) wireObs() {
+	fs.d.SetReadLatencyHistogram(fs.obsReg.Histogram("mmfs_disk_read_seconds", obs.LatencyBuckets))
+	if c := fs.mgr.Cache(); c != nil {
+		c.SetObs(fs.obsReg)
+	}
+	fs.mgr.SetObs(fs.obsReg, fs.obsRing)
+}
+
+// Metrics returns the observability registry every subsystem reports
+// into.
+func (fs *FS) Metrics() *obs.Registry { return fs.obsReg }
+
+// Trace returns the service-round trace ring.
+func (fs *FS) Trace() *obs.TraceRing { return fs.obsRing }
 
 // Open mounts a previously formatted file system from its disk.
 func Open(d *disk.Disk, opts Options) (*FS, error) {
@@ -325,6 +352,7 @@ func (fs *FS) NewManager() *msm.Manager {
 	if fs.opts.CacheMB > 0 {
 		fs.mgr.SetCache(cache.New(int64(fs.opts.CacheMB) << 20))
 	}
+	fs.wireObs()
 	return fs.mgr
 }
 

@@ -3,6 +3,8 @@ package disk
 import (
 	"fmt"
 	"time"
+
+	"mmfs/internal/obs"
 )
 
 // Stats accumulates operation counters for a disk.
@@ -43,6 +45,9 @@ type Disk struct {
 	pages [][]byte
 	heads []headState
 	stats Stats
+	// readLatency, when set, receives every timed read's service time
+	// in seconds (the mmfs_disk_read_seconds series).
+	readLatency *obs.Histogram
 }
 
 // New creates a zero-filled disk with the given geometry.
@@ -83,6 +88,11 @@ func (d *Disk) Stats() Stats { return d.stats }
 
 // ResetStats clears the accumulated counters.
 func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// SetReadLatencyHistogram installs an observability histogram that
+// every timed read reports its virtual service time to, in seconds.
+// nil disables the instrumentation.
+func (d *Disk) SetReadLatencyHistogram(h *obs.Histogram) { d.readLatency = h }
 
 // HeadCylinder reports the current cylinder of head h.
 func (d *Disk) HeadCylinder(h int) int { return d.heads[h].cylinder }
@@ -212,6 +222,9 @@ func (d *Disk) Read(h, lba, n int) ([]byte, time.Duration, error) {
 	t := d.serviceTime(h, lba, n, false)
 	d.stats.Reads++
 	d.stats.SectorsRead += uint64(n)
+	if d.readLatency != nil {
+		d.readLatency.Observe(t.Seconds())
+	}
 	buf, err := d.ReadAt(lba, n)
 	if err != nil {
 		return nil, 0, err
@@ -228,6 +241,9 @@ func (d *Disk) ReadContiguous(h, lba, n int) ([]byte, time.Duration, error) {
 	t := d.serviceTime(h, lba, n, true)
 	d.stats.Reads++
 	d.stats.SectorsRead += uint64(n)
+	if d.readLatency != nil {
+		d.readLatency.Observe(t.Seconds())
+	}
 	buf, err := d.ReadAt(lba, n)
 	if err != nil {
 		return nil, 0, err

@@ -72,6 +72,9 @@ type Stats struct {
 	// Demotions counts cache-served requests whose interval broke and
 	// that went back through full admission.
 	Demotions uint64
+	// Violations is the total number of continuity violations recorded
+	// across all requests (each one is also in the per-request lists).
+	Violations uint64
 }
 
 // Manager is the Multimedia Storage Manager: it owns the disk, the
@@ -102,6 +105,9 @@ type Manager struct {
 	scratchAct []*request
 	scratchAdm []continuity.Request
 	sorter     scanSorter
+	// obs, when set, receives per-round trace records and mirrors the
+	// counters into a metrics registry (see obs.go).
+	obs *roundObs
 }
 
 // New creates a manager over the disk with the given admission
@@ -200,6 +206,7 @@ func (m *Manager) CacheServed() int {
 func (m *Manager) admit(candidate continuity.Request, cacheServed bool) (continuity.Decision, error) {
 	ca := continuity.CacheAware{A: m.adm}
 	dec := ca.Admit(m.admissionSet(), m.k, candidate, cacheServed)
+	m.noteAdmission(dec.Admitted, dec.CacheServed)
 	if !dec.Admitted {
 		return dec, fmt.Errorf("%w: %s", ErrAdmissionRejected, dec.Reason)
 	}
@@ -221,6 +228,9 @@ func (m *Manager) admit(candidate continuity.Request, cacheServed bool) (continu
 		for _, step := range dec.Steps {
 			m.k = step
 			m.stats.TransitionSteps++
+			if m.obs != nil {
+				m.obs.transitions.Inc()
+			}
 			m.RunRound()
 		}
 	case NaiveJump:
@@ -515,6 +525,9 @@ func (m *Manager) RunRound() bool {
 		return false
 	}
 	m.stats.Rounds++
+	if m.obs != nil {
+		defer m.recordRound(m.clock.Now(), m.k, len(m.admissionSet()), m.CacheServed(), len(act))
+	}
 	if m.order == ScanOrder {
 		m.scanSort(act)
 	}
@@ -625,6 +638,9 @@ func (m *Manager) processDemotions() {
 		}
 		r.needsDemote = false
 		m.stats.Demotions++
+		if m.obs != nil {
+			m.obs.demotions.Inc()
+		}
 		m.closeCacheStream(r)
 		m.reopenCacheStream(r)
 		if r.play.cacheOpen && m.cache.Adopt(uint64(r.id)) {
@@ -756,7 +772,7 @@ func (m *Manager) serviceCached(r *request, k int) bool {
 		b := ps.plan.Blocks[ps.nextFetch]
 		e, err := b.Reader.Strand().Block(b.Index)
 		if err != nil {
-			ps.violations = append(ps.violations, Violation{Block: ps.nextFetch, Deadline: m.clock.Now(), Actual: m.clock.Now()})
+			m.violate(&ps.violations, Violation{Block: ps.nextFetch, Deadline: m.clock.Now(), Actual: m.clock.Now()})
 			r.done = true
 			m.closeCacheStream(r)
 			return true
@@ -765,7 +781,7 @@ func (m *Manager) serviceCached(r *request, k int) bool {
 			// Silence blocks cost no disk time on the disk path
 			// either; regenerate directly and advance the position.
 			if _, _, _, rerr := b.Reader.ReadBlock(0, b.Index); rerr != nil {
-				ps.violations = append(ps.violations, Violation{Block: ps.nextFetch, Deadline: m.clock.Now(), Actual: m.clock.Now()})
+				m.violate(&ps.violations, Violation{Block: ps.nextFetch, Deadline: m.clock.Now(), Actual: m.clock.Now()})
 				r.done = true
 				m.closeCacheStream(r)
 				return true
@@ -791,7 +807,7 @@ func (m *Manager) serviceCached(r *request, k int) bool {
 		m.stats.BlocksFetched++
 		if ps.started {
 			if dl := ps.deadline(j); arrival > dl {
-				ps.violations = append(ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
+				m.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
 			}
 		}
 		ps.fetchDone = arrival
@@ -857,7 +873,7 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 				// A broken plan is a programming error in the layers
 				// above; record it as a violation at this block and
 				// stop the request.
-				ps.violations = append(ps.violations, Violation{Block: first + i, Deadline: m.clock.Now(), Actual: m.clock.Now()})
+				m.violate(&ps.violations, Violation{Block: first + i, Deadline: m.clock.Now(), Actual: m.clock.Now()})
 				r.done = true
 				m.closeCacheStream(r)
 				return true
@@ -885,7 +901,7 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 			m.stats.BlocksFetched++
 			if ps.started {
 				if dl := ps.deadline(j); arrival > dl {
-					ps.violations = append(ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
+					m.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
 				}
 			}
 		}
@@ -902,6 +918,13 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 // deadline is the display start time of plan block j.
 func (ps *playState) deadline(j int) time.Duration {
 	return ps.startTime + ps.deadlines[j]
+}
+
+// violate records one continuity violation on a request and in the
+// manager-wide counter the observability layer publishes.
+func (m *Manager) violate(dst *[]Violation, v Violation) {
+	*dst = append(*dst, v)
+	m.stats.Violations++
 }
 
 // occupancy is the number of fetched blocks not yet fully displayed.
@@ -959,7 +982,7 @@ func (m *Manager) serviceRecord(r *request, k int) bool {
 			}
 			t, err := rs.plan.Writer.Append(unit)
 			if err != nil {
-				rs.violations = append(rs.violations, Violation{Block: rs.nextWrite, Deadline: m.clock.Now(), Actual: m.clock.Now()})
+				m.violate(&rs.violations, Violation{Block: rs.nextWrite, Deadline: m.clock.Now(), Actual: m.clock.Now()})
 				rs.exhausted = true
 				return true
 			}
@@ -978,7 +1001,7 @@ func (m *Manager) serviceRecord(r *request, k int) bool {
 		// finishes capture.
 		dl := rs.start + time.Duration(rs.nextWrite+rs.plan.Buffers+1)*rs.blockDur
 		if finish > dl {
-			rs.violations = append(rs.violations, Violation{Block: rs.nextWrite, Deadline: dl, Actual: finish})
+			m.violate(&rs.violations, Violation{Block: rs.nextWrite, Deadline: dl, Actual: finish})
 		}
 		rs.nextWrite++
 		m.stats.BlocksWritten++

@@ -1,0 +1,118 @@
+package msm
+
+import (
+	"time"
+
+	"mmfs/internal/obs"
+)
+
+// roundObs holds the manager's observability handles plus the
+// cumulative snapshot the per-round deltas are computed against.
+// Rounds can nest (a demotion's re-admission runs transition rounds
+// inside RunRound); delta-since-last-record accounting keeps the trace
+// exact under nesting — inner rounds record first, the outer round
+// records the remainder — at the cost of trace entries appearing in
+// completion order.
+type roundObs struct {
+	ring *obs.TraceRing
+
+	rounds, blocks, written  *obs.Counter
+	diskBusyNs               *obs.Counter
+	cacheHits, violations    *obs.Counter
+	admAccepted, admRejected *obs.Counter
+	admCacheServed           *obs.Counter
+	demotions, transitions   *obs.Counter
+
+	kGauge, activeGauge, cacheServedGauge *obs.Gauge
+
+	// last* are the cumulative values already attributed to recorded
+	// rounds.
+	lastBlocks, lastWritten uint64
+	lastHits, lastViol      uint64
+	lastBusy                time.Duration
+}
+
+// SetObs wires the manager to an observability registry and service-
+// round trace ring (either may be shared with previous managers over
+// the same disk: counters continue, deltas re-anchor to the current
+// cumulative state). ring may be nil to record metrics without a
+// trace.
+func (m *Manager) SetObs(reg *obs.Registry, ring *obs.TraceRing) {
+	o := &roundObs{
+		ring:             ring,
+		rounds:           reg.Counter("mmfs_rounds_total"),
+		blocks:           reg.Counter("mmfs_blocks_fetched_total"),
+		written:          reg.Counter("mmfs_blocks_written_total"),
+		diskBusyNs:       reg.Counter("mmfs_disk_busy_ns_total"),
+		cacheHits:        reg.Counter("mmfs_round_cache_hits_total"),
+		violations:       reg.Counter("mmfs_violations_total"),
+		admAccepted:      reg.Counter("mmfs_admission_accepted_total"),
+		admRejected:      reg.Counter("mmfs_admission_rejected_total"),
+		admCacheServed:   reg.Counter("mmfs_admission_cache_served_total"),
+		demotions:        reg.Counter("mmfs_demotions_total"),
+		transitions:      reg.Counter("mmfs_transition_steps_total"),
+		kGauge:           reg.Gauge("mmfs_k"),
+		activeGauge:      reg.Gauge("mmfs_active_requests"),
+		cacheServedGauge: reg.Gauge("mmfs_cache_served_requests"),
+	}
+	// Anchor the deltas: work done before SetObs is not re-attributed.
+	o.lastBlocks, o.lastWritten = m.stats.BlocksFetched, m.stats.BlocksWritten
+	o.lastHits, o.lastViol = m.stats.CacheHits, m.stats.Violations
+	o.lastBusy = m.d.Stats().BusyTime()
+	o.kGauge.Set(int64(m.k))
+	m.obs = o
+}
+
+// recordRound attributes everything since the previous record to one
+// completed service round and appends its trace entry.
+func (m *Manager) recordRound(start time.Duration, kAtStart, active, cacheServed, streamsServed int) {
+	o := m.obs
+	if o == nil {
+		return
+	}
+	busy := m.d.Stats().BusyTime()
+	tr := obs.RoundTrace{
+		Round:         m.stats.Rounds,
+		Start:         int64(start),
+		K:             kAtStart,
+		Active:        active,
+		CacheServed:   cacheServed,
+		StreamsServed: streamsServed,
+		BlocksRead:    m.stats.BlocksFetched - o.lastBlocks,
+		DiskBusyNs:    int64(busy - o.lastBusy),
+		CacheHits:     m.stats.CacheHits - o.lastHits,
+		Violations:    m.stats.Violations - o.lastViol,
+	}
+	o.rounds.Inc()
+	o.blocks.Add(tr.BlocksRead)
+	o.written.Add(m.stats.BlocksWritten - o.lastWritten)
+	o.diskBusyNs.Add(uint64(tr.DiskBusyNs))
+	o.cacheHits.Add(tr.CacheHits)
+	o.violations.Add(tr.Violations)
+	o.kGauge.Set(int64(m.k))
+	o.activeGauge.Set(int64(active))
+	o.cacheServedGauge.Set(int64(cacheServed))
+	o.lastBlocks, o.lastWritten = m.stats.BlocksFetched, m.stats.BlocksWritten
+	o.lastHits, o.lastViol = m.stats.CacheHits, m.stats.Violations
+	o.lastBusy = busy
+	if o.ring != nil {
+		o.ring.Append(tr)
+	}
+}
+
+// noteAdmission counts an admission decision.
+func (m *Manager) noteAdmission(admitted, cacheServed bool) {
+	o := m.obs
+	if o == nil {
+		return
+	}
+	switch {
+	case admitted && cacheServed:
+		o.admAccepted.Inc()
+		o.admCacheServed.Inc()
+	case admitted:
+		o.admAccepted.Inc()
+	default:
+		o.admRejected.Inc()
+	}
+}

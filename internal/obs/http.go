@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry and trace ring over HTTP:
+//
+//	GET /metrics  Prometheus text exposition of every metric
+//	GET /trace    JSON array of the retained service rounds, oldest first
+//
+// ring may be nil; /trace then serves an empty array. mmfsd mounts the
+// handler on its -metrics-addr listener.
+func Handler(reg *Registry, ring *TraceRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.Snapshot().WritePrometheus(w); err != nil {
+			// The connection is gone; nothing useful left to do.
+			return
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var rounds []RoundTrace
+		if ring != nil {
+			rounds = ring.Snapshot()
+		}
+		if rounds == nil {
+			rounds = []RoundTrace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rounds); err != nil {
+			return
+		}
+	})
+	return mux
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"mmfs/internal/media"
+	"mmfs/internal/obs"
+	"mmfs/internal/rope"
+	"mmfs/internal/wire"
+)
+
+// TestSnapshotWireRoundTrip exercises EncodeSnapshot/DecodeSnapshot on
+// a registry holding every metric kind, including labeled series and a
+// histogram with observations straddling its bounds.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("mmfs_rounds_total").Add(7)
+	reg.Counter(`mmfs_requests_total{op="Play"}`).Add(3)
+	reg.Gauge("mmfs_k").Set(-2)
+	h := reg.Histogram("mmfs_disk_read_seconds", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	e := wire.NewEncoder()
+	wire.EncodeSnapshot(e, reg.Snapshot())
+	d := wire.NewDecoder(e.Bytes())
+	got := wire.DecodeSnapshot(d)
+	if d.Err() != nil {
+		t.Fatalf("decode: %v", d.Err())
+	}
+
+	if v, ok := got.Counter("mmfs_rounds_total"); !ok || v != 7 {
+		t.Fatalf("rounds counter = %d, %v; want 7, true", v, ok)
+	}
+	if v, ok := got.Counter(`mmfs_requests_total{op="Play"}`); !ok || v != 3 {
+		t.Fatalf("labeled counter = %d, %v; want 3, true", v, ok)
+	}
+	if v, ok := got.Gauge("mmfs_k"); !ok || v != -2 {
+		t.Fatalf("gauge = %d, %v; want -2, true", v, ok)
+	}
+	if len(got.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(got.Histograms))
+	}
+	hv := got.Histograms[0]
+	if hv.Name != "mmfs_disk_read_seconds" || hv.Count != 3 || hv.Sum != 5.055 {
+		t.Fatalf("histogram %+v", hv)
+	}
+	if len(hv.Buckets) != 2 || hv.Buckets[0] != 1 || hv.Buckets[1] != 2 {
+		t.Fatalf("buckets %v, want [1 2]", hv.Buckets)
+	}
+}
+
+// TestDecodeSnapshotTruncated checks the decoder reports truncation via
+// its sticky error instead of hanging or panicking.
+func TestDecodeSnapshotTruncated(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a").Inc()
+	e := wire.NewEncoder()
+	wire.EncodeSnapshot(e, reg.Snapshot())
+	d := wire.NewDecoder(e.Bytes()[:3])
+	wire.DecodeSnapshot(d)
+	if d.Err() == nil {
+		t.Fatal("truncated snapshot decoded without error")
+	}
+}
+
+// TestMetricsOverWire drives real work through the server and checks
+// the METRICS op reflects it: per-op request counters, the storage
+// manager's round/block series, and the disk read histogram.
+func TestMetricsOverWire(t *testing.T) {
+	c, fs := startServer(t)
+	id, _, err := c.RecordClip("venkat", media.NewVideoSource(60, 18000, 30, 41), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Play("venkat", id, rope.VideoOnly, 0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if v, ok := snap.Counter(`mmfs_requests_total{op="Play"}`); !ok || v != 1 {
+		t.Fatalf("play request counter = %d, %v; want 1", v, ok)
+	}
+	rounds, ok := snap.Counter("mmfs_rounds_total")
+	if !ok || rounds == 0 {
+		t.Fatalf("rounds counter = %d, %v; want > 0", rounds, ok)
+	}
+	if rounds != fs.Manager().Stats().Rounds {
+		t.Fatalf("rounds counter %d != manager stats %d", rounds, fs.Manager().Stats().Rounds)
+	}
+	blocks, _ := snap.Counter("mmfs_blocks_fetched_total")
+	if blocks != fs.Manager().Stats().BlocksFetched {
+		t.Fatalf("blocks counter %d != manager stats %d", blocks, fs.Manager().Stats().BlocksFetched)
+	}
+	busy, _ := snap.Counter("mmfs_disk_busy_ns_total")
+	if busy == 0 {
+		t.Fatal("disk busy counter is zero after playback")
+	}
+	var hist *obs.HistogramValue
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "mmfs_disk_read_seconds" {
+			hist = &snap.Histograms[i]
+		}
+	}
+	if hist == nil || hist.Count == 0 {
+		t.Fatalf("disk read histogram missing or empty: %+v", snap.Histograms)
+	}
+
+	// The same work must be visible in the trace ring.
+	trs := fs.Trace().Snapshot()
+	if len(trs) == 0 {
+		t.Fatal("trace ring empty after playback")
+	}
+	var traced uint64
+	for _, tr := range trs {
+		traced += tr.BlocksRead
+	}
+	if traced != blocks {
+		t.Fatalf("trace blocks %d != counter %d", traced, blocks)
+	}
+
+	// And the snapshot must render as Prometheus text.
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE mmfs_rounds_total counter",
+		"# TYPE mmfs_disk_read_seconds histogram",
+		`mmfs_disk_read_seconds_bucket{le="+Inf"}`,
+		// The METRICS request itself is in flight while the snapshot
+		// is taken.
+		"mmfs_server_inflight_requests 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

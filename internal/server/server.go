@@ -16,6 +16,7 @@ import (
 	"mmfs/internal/core"
 	"mmfs/internal/media"
 	"mmfs/internal/msm"
+	"mmfs/internal/obs"
 	"mmfs/internal/rope"
 	"mmfs/internal/wire"
 )
@@ -51,6 +52,14 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed bool // guarded by mu
 
+	// reg is the file system's metrics registry; inflight counts
+	// requests between frame parse and response write (it is the only
+	// server metric mutated outside mu — the gauge is atomic).
+	reg      *obs.Registry
+	inflight *obs.Gauge
+	opCount  map[wire.Op]*obs.Counter // guarded by mu
+	errCount *obs.Counter
+
 	// Logf, when non-nil, receives operational log lines (abnormal
 	// connection teardown and the like). It must be set before Serve
 	// and is read without the lock thereafter.
@@ -59,7 +68,16 @@ type Server struct {
 
 // New creates a server over a mounted file system.
 func New(fs *core.FS) *Server {
-	return &Server{fs: fs, sessions: make(map[uint64]*recordSession), nextSess: 1}
+	reg := fs.Metrics()
+	return &Server{
+		fs:       fs,
+		sessions: make(map[uint64]*recordSession),
+		nextSess: 1,
+		reg:      reg,
+		inflight: reg.Gauge("mmfs_server_inflight_requests"),
+		opCount:  make(map[wire.Op]*obs.Counter),
+		errCount: reg.Counter("mmfs_server_errors_total"),
+	}
 }
 
 // Serve accepts connections until the listener closes.
@@ -133,8 +151,11 @@ func (s *Server) serveConn(conn net.Conn) {
 // the framed response. The reply encoder comes from the wire free
 // list; OKResponse copies the body before the encoder is recycled.
 func (s *Server) handle(op wire.Op, body []byte) []byte {
+	s.inflight.Inc()
+	defer s.inflight.Dec()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.countOp(op)
 	d := wire.NewDecoder(body)
 	e := wire.GetEncoder()
 	defer wire.PutEncoder(e)
@@ -184,16 +205,38 @@ func (s *Server) handle(op wire.Op, body []byte) []byte {
 		err = s.triggers(d, e)
 	case wire.OpFlatten:
 		err = s.flatten(d, e)
+	case wire.OpMetrics:
+		err = s.metrics(d, e)
 	default:
+		s.errCount.Inc()
 		return wire.ErrResponse(fmt.Errorf("server: unknown op %v", op))
 	}
 	if err == nil && d.Err() != nil {
 		err = fmt.Errorf("server: malformed %v request: %w", op, d.Err())
 	}
 	if err != nil {
+		s.errCount.Inc()
 		return wire.ErrResponse(err)
 	}
 	return wire.OKResponse(e.Bytes())
+}
+
+// countOp increments the per-op request counter. The caller must hold
+// s.mu (the counter map is populated lazily as ops arrive).
+func (s *Server) countOp(op wire.Op) {
+	c := s.opCount[op]
+	if c == nil {
+		c = s.reg.Counter(fmt.Sprintf("mmfs_requests_total{op=%q}", op))
+		s.opCount[op] = c
+	}
+	c.Inc()
+}
+
+// metrics encodes a snapshot of every registered metric. The caller
+// must hold s.mu.
+func (s *Server) metrics(d *wire.Decoder, e *wire.Encoder) error {
+	wire.EncodeSnapshot(e, s.reg.Snapshot())
+	return nil
 }
 
 // DecodeMedium maps the wire medium code to a rope selector.

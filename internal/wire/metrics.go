@@ -1,0 +1,52 @@
+package wire
+
+import "mmfs/internal/obs"
+
+// EncodeSnapshot appends a metrics snapshot to e: the METRICS response
+// body. The layout is three length-prefixed sections (counters, gauges,
+// histograms), each entry carrying its full series name.
+func EncodeSnapshot(e *Encoder, s obs.Snapshot) {
+	e.U32(uint32(len(s.Counters)))
+	for _, c := range s.Counters {
+		e.Str(c.Name)
+		e.U64(c.Value)
+	}
+	e.U32(uint32(len(s.Gauges)))
+	for _, g := range s.Gauges {
+		e.Str(g.Name)
+		e.I64(g.Value)
+	}
+	e.U32(uint32(len(s.Histograms)))
+	for _, h := range s.Histograms {
+		e.Str(h.Name)
+		e.U32(uint32(len(h.Uppers)))
+		for i := range h.Uppers {
+			e.F64(h.Uppers[i])
+			e.U64(h.Buckets[i])
+		}
+		e.U64(h.Count)
+		e.F64(h.Sum)
+	}
+}
+
+// DecodeSnapshot reads a METRICS response body. Check d.Err after.
+func DecodeSnapshot(d *Decoder) obs.Snapshot {
+	var s obs.Snapshot
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
+		s.Counters = append(s.Counters, obs.CounterValue{Name: d.Str(), Value: d.U64()})
+	}
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
+		s.Gauges = append(s.Gauges, obs.GaugeValue{Name: d.Str(), Value: d.I64()})
+	}
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
+		h := obs.HistogramValue{Name: d.Str()}
+		for j, nb := 0, int(d.U32()); j < nb && d.Err() == nil; j++ {
+			h.Uppers = append(h.Uppers, d.F64())
+			h.Buckets = append(h.Buckets, d.U64())
+		}
+		h.Count = d.U64()
+		h.Sum = d.F64()
+		s.Histograms = append(s.Histograms, h)
+	}
+	return s
+}

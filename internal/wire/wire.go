@@ -42,6 +42,7 @@ const (
 	OpAddTrigger
 	OpTriggers
 	OpFlatten
+	OpMetrics
 )
 
 // String names the op.
@@ -91,6 +92,8 @@ func (o Op) String() string {
 		return "Triggers"
 	case OpFlatten:
 		return "Flatten"
+	case OpMetrics:
+		return "Metrics"
 	}
 	return fmt.Sprintf("Op(%d)", uint16(o))
 }
