@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages whose tests exercise real goroutine concurrency; the race
 # subset keeps CI latency down while still covering every mutex.
-RACE_PKGS = ./internal/server ./internal/msm ./internal/client ./internal/cache ./internal/obs
+RACE_PKGS = ./internal/server ./internal/msm ./internal/client ./internal/cache ./internal/obs ./internal/fault
 
-.PHONY: all build test race lint bench bench-baseline bench-compare fuzz clean
+.PHONY: all build test race lint bench bench-baseline bench-compare fuzz chaos clean
 
 all: build lint test
 
@@ -40,11 +40,19 @@ bench-compare:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/current.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.15 bench/baseline.json bench/current.json
 
-# Short fuzz pass over the wire codec; lengthen -fuzztime locally.
+# Short fuzz pass over the wire codec and the fault-scenario parser;
+# lengthen -fuzztime locally.
 fuzz:
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzParseScenario -fuzztime=10s ./internal/fault
+
+# Replay the EXP-FT chaos storms and check the acceptance assertions
+# (zero aborted plays, zero escalation stops, bounded degradation).
+chaos:
+	$(GO) run ./cmd/mmexperiments -exp ft
+	$(GO) test -run TestFaultTolerance ./internal/experiments
 
 clean:
 	$(GO) clean ./...

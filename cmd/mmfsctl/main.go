@@ -78,12 +78,18 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "mmfsd address")
 	user := flag.String("user", "operator", "user identity for access control")
 	seedFlag := flag.Int64("seed", 0, "deterministic seed for synthetic record sources (0 derives one from the current time)")
+	timeout := flag.Duration("timeout", 0, "dial and per-RPC timeout (0 disables)")
+	retries := flag.Int("retries", 0, "transport-failure retries with capped exponential backoff (0 disables)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	c, err := client.Dial(*addr)
+	c, err := client.DialOptions(*addr, client.Options{
+		DialTimeout: *timeout,
+		RPCTimeout:  *timeout,
+		Retries:     *retries,
+	})
 	if err != nil {
 		die(err)
 	}
@@ -348,6 +354,10 @@ func main() {
 		if st.CacheCapacity > 0 {
 			fmt.Printf("cache:           %d/%d KiB, %d interval(s), %d cache-served play(s), %d hit(s)\n",
 				st.CacheBytes>>10, st.CacheCapacity>>10, st.CacheIntervals, st.CacheServed, st.CacheHits)
+		}
+		if st.Retries > 0 || st.DegradedBlocks > 0 || st.FaultStops > 0 {
+			fmt.Printf("faults:          %d retried read(s), %d degraded block(s), %d stream(s) stopped\n",
+				st.Retries, st.DegradedBlocks, st.FaultStops)
 		}
 	case "metrics":
 		snap, err := c.Metrics()

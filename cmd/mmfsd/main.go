@@ -18,6 +18,7 @@ import (
 
 	"mmfs/internal/core"
 	"mmfs/internal/disk"
+	"mmfs/internal/fault"
 	"mmfs/internal/obs"
 	"mmfs/internal/server"
 )
@@ -33,8 +34,16 @@ func main() {
 		target    = flag.Int("target-cylinders", 32, "placement policy: max cylinders between successive strand blocks")
 		cachemb   = flag.Int("cachemb", 0, "interval cache size in MiB (0 disables caching)")
 		metrics   = flag.String("metrics-addr", "", "observability HTTP listen address serving /metrics (Prometheus text) and /trace (service-round JSON); empty disables")
+		scenario  = flag.String("fault-scenario", "off", "fault-injection scenario (e.g. \"seed=42,readerr=0.02,slow=0.05x4,bad=100+50\"); \"off\" disables")
+		connTO    = flag.Duration("conn-timeout", 0, "per-connection idle read and response write deadline (0 disables)")
+		maxConns  = flag.Int("max-conns", 0, "max concurrent client connections; excess are refused with a busy error (0 = unlimited)")
 	)
 	flag.Parse()
+
+	sc, err := fault.ParseScenario(*scenario)
+	if err != nil {
+		log.Fatalf("mmfsd: %v", err)
+	}
 
 	g := disk.Geometry{
 		Cylinders:       *cylinders,
@@ -46,7 +55,7 @@ func main() {
 		MaxSeek:         30 * time.Millisecond,
 		Heads:           *heads,
 	}
-	fs, err := core.Format(core.Options{Geometry: g, TargetCylinders: *target, CacheMB: *cachemb})
+	fs, err := core.Format(core.Options{Geometry: g, TargetCylinders: *target, CacheMB: *cachemb, Fault: sc})
 	if err != nil {
 		log.Fatalf("mmfsd: format: %v", err)
 	}
@@ -56,6 +65,9 @@ func main() {
 	if *cachemb > 0 {
 		fmt.Printf("mmfsd: interval cache %d MiB (trailing plays of a rope are served from memory)\n", *cachemb)
 	}
+	if sc.Active() {
+		fmt.Printf("mmfsd: fault injection %s (degradation ladder: retry, zero-fill, stop)\n", sc)
+	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -63,8 +75,9 @@ func main() {
 	}
 	fmt.Printf("mmfsd: serving on %s\n", lis.Addr())
 
+	var mlis net.Listener
 	if *metrics != "" {
-		mlis, err := net.Listen("tcp", *metrics)
+		mlis, err = net.Listen("tcp", *metrics)
 		if err != nil {
 			log.Fatalf("mmfsd: metrics listen: %v", err)
 		}
@@ -78,14 +91,29 @@ func main() {
 
 	srv := server.New(fs)
 	srv.Logf = log.Printf
+	srv.ReadTimeout = *connTO
+	srv.WriteTimeout = *connTO
+	srv.MaxConns = *maxConns
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
 	go func() {
 		<-sig
-		fmt.Println("\nmmfsd: shutting down")
+		fmt.Println("\nmmfsd: draining connections")
+		if mlis != nil {
+			_ = mlis.Close()
+		}
+		// Graceful drain: in-flight requests get their responses, new
+		// connections are refused, and Close returns once every
+		// connection handler has exited.
 		_ = srv.Close()
+		fmt.Println("mmfsd: shutdown complete")
+		close(drained)
 	}()
 	if err := srv.Serve(lis); err != nil {
 		log.Fatalf("mmfsd: serve: %v", err)
 	}
+	// Serve returns nil only when the drain path closed the listener;
+	// wait for the drain itself to finish before exiting the process.
+	<-drained
 }

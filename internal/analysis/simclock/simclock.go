@@ -40,6 +40,7 @@ var Analyzer = &analysis.Analyzer{
 		analysis.ModulePath + "/internal/server",
 		analysis.ModulePath + "/internal/core",
 		analysis.ModulePath + "/internal/cache",
+		analysis.ModulePath + "/internal/fault",
 	},
 	Run: run,
 }

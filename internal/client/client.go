@@ -5,6 +5,8 @@
 package client
 
 import (
+	"errors"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -15,37 +17,141 @@ import (
 	"mmfs/internal/wire"
 )
 
+// Options harden a dialed client against a slow or flapping server.
+// The zero value preserves the original behavior: no timeouts, no
+// retries.
+type Options struct {
+	// DialTimeout bounds each connection attempt; 0 means no limit.
+	DialTimeout time.Duration
+	// RPCTimeout bounds one full request/response round trip; 0 means
+	// no limit.
+	RPCTimeout time.Duration
+	// Retries is how many times a transport-level failure (dial error,
+	// torn connection, timeout) is retried after redialing. Server-side
+	// errors are never retried — the server answered. Note a retry
+	// re-sends the request: a non-idempotent op whose response was lost
+	// in flight may execute twice.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// (default 50ms when Retries > 0).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 2s).
+	MaxBackoff time.Duration
+}
+
+// withDefaults fills the backoff defaults in.
+func (o Options) withDefaults() Options {
+	if o.Retries > 0 {
+		if o.Backoff <= 0 {
+			o.Backoff = 50 * time.Millisecond
+		}
+		if o.MaxBackoff <= 0 {
+			o.MaxBackoff = 2 * time.Second
+		}
+	}
+	return o
+}
+
 // Client is a connection to an MRS server. Safe for concurrent use;
 // requests are serialized on the connection.
 type Client struct {
 	mu sync.Mutex
 	// conn carries one framed RPC at a time. guarded by mu
 	conn net.Conn
+	// addr is non-empty for dialed clients and enables redial-on-retry;
+	// NewFromConn clients have no address to go back to.
+	addr string
+	opts Options
 }
 
-// Dial connects to an MRS server.
+// Dial connects to an MRS server with no timeouts or retries.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to an MRS server with the given hardening
+// options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := dial(addr, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, addr: addr, opts: opts}, nil
 }
 
-// NewFromConn wraps an existing connection (tests use net.Pipe).
+// dial makes one connection attempt under the dial timeout.
+func dial(addr string, opts Options) (net.Conn, error) {
+	if opts.DialTimeout > 0 {
+		return net.DialTimeout("tcp", addr, opts.DialTimeout)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// NewFromConn wraps an existing connection (tests use net.Pipe). The
+// client cannot redial, so transport failures are not retried.
 func NewFromConn(conn net.Conn) *Client { return &Client{conn: conn} }
 
 // Close tears the connection down.
 func (c *Client) Close() error {
 	//lint:ignore lockguard Close must interrupt an in-flight call, so it bypasses mu; net.Conn.Close is safe concurrently
-	return c.conn.Close()
+	conn := c.conn
+	if conn == nil {
+		return nil // mid-redial: nothing to tear down
+	}
+	return conn.Close()
 }
 
-// call performs one RPC round trip.
+// call performs one RPC round trip, redialing and retrying transport
+// failures under the client's Options.
 func (c *Client) call(op wire.Op, body []byte) (*wire.Decoder, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := wire.WriteFrame(c.conn, wire.Request(op, body)); err != nil {
+	req := wire.Request(op, body)
+	backoff := c.opts.Backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			// A previous attempt tore the connection down; redial
+			// before re-sending.
+			var conn net.Conn
+			conn, err = dial(c.addr, c.opts)
+			if conn != nil {
+				c.conn = conn
+			}
+		}
+		if c.conn != nil {
+			var d *wire.Decoder
+			d, err = c.roundTrip(req)
+			if err == nil {
+				return d, nil
+			}
+			if c.addr != "" && retryable(err) {
+				// The connection is suspect after any transport
+				// failure; the redial above replaces it.
+				c.conn.Close()
+				c.conn = nil
+			}
+		}
+		if c.addr == "" || attempt >= c.opts.Retries || !retryable(err) {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > c.opts.MaxBackoff {
+			backoff = c.opts.MaxBackoff
+		}
+	}
+}
+
+// roundTrip writes one request frame and reads its response under the
+// RPC timeout. The caller must hold c.mu.
+func (c *Client) roundTrip(req []byte) (*wire.Decoder, error) {
+	if c.opts.RPCTimeout > 0 {
+		//lint:ignore noerrdrop a failed deadline set means a dead conn, which the write below surfaces
+		_ = c.conn.SetDeadline(time.Now().Add(c.opts.RPCTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := wire.WriteFrame(c.conn, req); err != nil {
 		return nil, err
 	}
 	frame, err := wire.ReadFrame(c.conn)
@@ -57,6 +163,17 @@ func (c *Client) call(op wire.Op, body []byte) (*wire.Decoder, error) {
 		return nil, err
 	}
 	return wire.NewDecoder(resp), nil
+}
+
+// retryable reports whether an error is transport-level (the request
+// may never have reached the server) as opposed to a server-side
+// response, which must not be re-executed.
+func retryable(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
 }
 
 // mediumCode converts a rope selector to its wire encoding.
@@ -371,6 +488,12 @@ type ServerStats struct {
 	// CacheIntervals is the number of leader→follower intervals
 	// currently formed.
 	CacheIntervals int
+	// Retries, DegradedBlocks, and FaultStops are the fault-tolerance
+	// ladder's lifetime tier counters: in-round re-reads, zero-fill
+	// deliveries, and streams stopped after consecutive degradation.
+	Retries        uint64
+	DegradedBlocks uint64
+	FaultStops     uint64
 }
 
 // Stats fetches server statistics.
@@ -391,6 +514,9 @@ func (c *Client) Stats() (ServerStats, error) {
 		CacheBytes:     d.U64(),
 		CacheCapacity:  d.U64(),
 		CacheIntervals: int(d.U32()),
+		Retries:        d.U64(),
+		DegradedBlocks: d.U64(),
+		FaultStops:     d.U64(),
 	}
 	return st, d.Err()
 }

@@ -1,0 +1,153 @@
+package client_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mmfs/internal/client"
+	"mmfs/internal/wire"
+)
+
+// emptyListResponse is a valid OpListRopes reply with zero ropes.
+func emptyListResponse() []byte {
+	return wire.OKResponse(wire.NewEncoder().U32(0).Bytes())
+}
+
+// TestRetryRedialsAfterTornConnection verifies the capped-backoff
+// retry: the first connection is torn down before any response, and
+// the client redials and completes the call on the second.
+func TestRetryRedialsAfterTornConnection(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		// First connection: hang up before answering anything.
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		conn.Close()
+		// Second connection: serve normally.
+		conn, err = lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			frame, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if _, _, err := wire.ParseRequest(frame); err != nil {
+				return
+			}
+			if err := wire.WriteFrame(conn, emptyListResponse()); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := client.DialOptions(lis.Addr().String(), client.Options{
+		DialTimeout: 2 * time.Second,
+		RPCTimeout:  2 * time.Second,
+		Retries:     3,
+		Backoff:     5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ids, err := c.ListRopes()
+	if err != nil {
+		t.Fatalf("call did not survive the torn connection: %v", err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("unexpected ropes: %v", ids)
+	}
+}
+
+// TestRPCTimeoutExpires verifies a server that accepts but never
+// responds cannot wedge the client: the call fails with a timeout.
+func TestRPCTimeoutExpires(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(io.Discard, conn) // read forever, answer never
+			}()
+		}
+	}()
+
+	c, err := client.DialOptions(lis.Addr().String(), client.Options{RPCTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.ListRopes()
+	if err == nil {
+		t.Fatal("call against a mute server succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("got %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestServerErrorsNotRetried verifies only transport failures are
+// retried: a server-side error response is final, and the request is
+// not re-executed.
+func TestServerErrorsNotRetried(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	var requests atomic.Int32
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			if _, err := wire.ReadFrame(conn); err != nil {
+				return
+			}
+			requests.Add(1)
+			if err := wire.WriteFrame(conn, wire.ErrResponse(errors.New("nope"))); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := client.DialOptions(lis.Addr().String(), client.Options{Retries: 3, Backoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ListRopes(); err == nil {
+		t.Fatal("error response reported as success")
+	}
+	if got := requests.Load(); got != 1 {
+		t.Fatalf("request executed %d times, want exactly 1", got)
+	}
+}

@@ -198,6 +198,25 @@ func (a Admission) KTransient(reqs []Request) (int, bool) {
 	return k, true
 }
 
+// SlackSeconds is the virtual time the transient-safe bound (Eq. 18)
+// leaves unused in one round of n requests at k blocks each:
+// k·γ − (n·α + n·k·β), clamped at zero. The admission test charges
+// every access its worst case, so an admitted population always leaves
+// this much measured slack per round; the storage manager's
+// fault-tolerant service path spends it on in-round retries without
+// endangering any admitted stream's continuity.
+func (a Admission) SlackSeconds(reqs []Request, k int) float64 {
+	if len(reqs) == 0 || k < 1 {
+		return 0
+	}
+	n := float64(len(reqs))
+	s := float64(k)*a.Gamma(reqs) - (n*a.Alpha(reqs) + n*float64(k)*a.Beta(reqs))
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0
+	}
+	return s
+}
+
 // feasibleTransient checks n·α + n·k·β ≤ k·γ.
 func (a Admission) feasibleTransient(reqs []Request, k int) bool {
 	if k < 1 {

@@ -16,6 +16,7 @@ import (
 	"mmfs/internal/cache"
 	"mmfs/internal/continuity"
 	"mmfs/internal/disk"
+	"mmfs/internal/fault"
 	"mmfs/internal/gc"
 	"mmfs/internal/msm"
 	"mmfs/internal/obs"
@@ -57,6 +58,14 @@ type Options struct {
 	// fetched, admitting more concurrent streams than the disk-only
 	// bound n_max. 0 disables the cache.
 	CacheMB int
+	// Fault configures deterministic fault injection on the media
+	// path (timed strand reads and writes). The zero scenario leaves
+	// the raw disk in place — the fault layer costs nothing when off.
+	// Metadata access always bypasses injection.
+	Fault fault.Scenario
+	// FaultPolicy overrides the storage manager's fault-tolerant
+	// service policy; nil uses msm.DefaultFaultPolicy.
+	FaultPolicy *msm.FaultPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -80,8 +89,13 @@ func (o Options) withDefaults() Options {
 
 // FS is a mounted multimedia file system.
 type FS struct {
-	opts      Options
-	d         *disk.Disk
+	opts Options
+	d    *disk.Disk
+	// mdev is the media-path device the strand layer, plan compilers,
+	// and storage manager use: the raw disk, or the fault-injection
+	// wrapper when a scenario is active. Metadata always uses d.
+	mdev      disk.Device
+	faultDisk *fault.Disk
 	a         *alloc.Allocator
 	strands   *strand.Store
 	ropes     *rope.Store
@@ -144,19 +158,27 @@ func build(opts Options, d *disk.Disk, a *alloc.Allocator) *FS {
 		MaxAccess:    continuity.Seconds(g.MaxAccessTime()),
 		MinAccess:    continuity.Seconds(g.MinAccessTime()),
 	}
-	ss := strand.NewStore(d, a)
+	var mdev disk.Device = d
+	var fd *fault.Disk
+	if opts.Fault.Active() {
+		fd = fault.New(d, opts.Fault)
+		mdev = fd
+	}
+	ss := strand.NewStore(mdev, a)
 	in := gc.New()
 	rs := rope.NewStore(ss, in)
 	fs := &FS{
 		opts:      opts,
 		d:         d,
+		mdev:      mdev,
+		faultDisk: fd,
 		a:         a,
 		strands:   ss,
 		ropes:     rs,
 		interests: in,
 		collector: gc.NewCollector(ss, in),
-		editor:    rope.NewEditor(d, a, rs, opts.TargetCylinders),
-		mgr:       msm.New(d, continuity.AdmissionFor(dev)),
+		editor:    rope.NewEditor(mdev, a, rs, opts.TargetCylinders),
+		mgr:       msm.New(mdev, continuity.AdmissionFor(dev)),
 		dev:       dev,
 		text:      textfs.NewStore(d, a),
 		nextStart: g.Cylinders / 7,
@@ -166,6 +188,9 @@ func build(opts Options, d *disk.Disk, a *alloc.Allocator) *FS {
 	}
 	if opts.CacheMB > 0 {
 		fs.mgr.SetCache(cache.New(int64(opts.CacheMB) << 20))
+	}
+	if opts.FaultPolicy != nil {
+		fs.mgr.SetFaultPolicy(*opts.FaultPolicy)
 	}
 	fs.obsReg = obs.NewRegistry()
 	fs.obsRing = obs.NewTraceRing(obs.DefaultTraceRounds)
@@ -177,6 +202,10 @@ func build(opts Options, d *disk.Disk, a *alloc.Allocator) *FS {
 // system's registry and trace ring.
 func (fs *FS) wireObs() {
 	fs.d.SetReadLatencyHistogram(fs.obsReg.Histogram("mmfs_disk_read_seconds", obs.LatencyBuckets))
+	fs.d.SetWriteLatencyHistogram(fs.obsReg.Histogram("mmfs_disk_write_seconds", obs.LatencyBuckets))
+	if fs.faultDisk != nil {
+		fs.faultDisk.SetObs(fs.obsReg)
+	}
 	if c := fs.mgr.Cache(); c != nil {
 		c.SetObs(fs.obsReg)
 	}
@@ -333,6 +362,16 @@ func (fs *FS) Text() *textfs.Store { return fs.text }
 // Disk exposes the underlying disk.
 func (fs *FS) Disk() *disk.Disk { return fs.d }
 
+// MediaDevice exposes the media-path device: the raw disk, or the
+// fault-injection wrapper when Options.Fault is active. Plan
+// compilation and playback must go through it so injected faults reach
+// the storage manager.
+func (fs *FS) MediaDevice() disk.Device { return fs.mdev }
+
+// FaultDisk exposes the fault-injection wrapper, nil when injection is
+// off.
+func (fs *FS) FaultDisk() *fault.Disk { return fs.faultDisk }
+
 // Allocator exposes the block allocator.
 func (fs *FS) Allocator() *alloc.Allocator { return fs.a }
 
@@ -345,12 +384,15 @@ func (fs *FS) Manager() *msm.Manager { return fs.mgr }
 // data. Experiments use it to run independent playback trials against
 // one recorded data set.
 func (fs *FS) NewManager() *msm.Manager {
-	fs.mgr = msm.New(fs.d, continuity.AdmissionFor(fs.dev))
+	fs.mgr = msm.New(fs.mdev, continuity.AdmissionFor(fs.dev))
 	if fs.opts.Arch.Arch == continuity.Concurrent {
 		fs.mgr.SetConcurrency(fs.opts.Arch.P)
 	}
 	if fs.opts.CacheMB > 0 {
 		fs.mgr.SetCache(cache.New(int64(fs.opts.CacheMB) << 20))
+	}
+	if fs.opts.FaultPolicy != nil {
+		fs.mgr.SetFaultPolicy(*fs.opts.FaultPolicy)
 	}
 	fs.wireObs()
 	return fs.mgr

@@ -25,6 +25,25 @@ func (s Stats) BusyTime() time.Duration {
 	return s.SeekTime + s.RotationTime + s.TransferTime
 }
 
+// Device is the media-path disk surface: everything the strand layer,
+// the storage manager, and the plan compilers need from a disk. *Disk
+// implements it directly; internal/fault wraps one to inject
+// deterministic failures without the layers above knowing.
+type Device interface {
+	Geometry() Geometry
+	Heads() int
+	HeadCylinder(h int) int
+	Stats() Stats
+	// Timed data path (virtual service times drive the round clock).
+	Read(h, lba, n int) ([]byte, time.Duration, error)
+	ReadContiguous(h, lba, n int) ([]byte, time.Duration, error)
+	Write(h, lba int, data []byte) (time.Duration, error)
+	PeekServiceTime(h, lba, n int) time.Duration
+	// Untimed data path (metadata, verification, editing copies).
+	ReadAt(lba, n int) ([]byte, error)
+	WriteAt(lba int, data []byte) error
+}
+
 // headState tracks one independent actuator.
 type headState struct {
 	cylinder int
@@ -48,7 +67,12 @@ type Disk struct {
 	// readLatency, when set, receives every timed read's service time
 	// in seconds (the mmfs_disk_read_seconds series).
 	readLatency *obs.Histogram
+	// writeLatency mirrors readLatency for the timed write path (the
+	// mmfs_disk_write_seconds series).
+	writeLatency *obs.Histogram
 }
+
+var _ Device = (*Disk)(nil)
 
 // New creates a zero-filled disk with the given geometry.
 func New(g Geometry) (*Disk, error) {
@@ -93,6 +117,11 @@ func (d *Disk) ResetStats() { d.stats = Stats{} }
 // every timed read reports its virtual service time to, in seconds.
 // nil disables the instrumentation.
 func (d *Disk) SetReadLatencyHistogram(h *obs.Histogram) { d.readLatency = h }
+
+// SetWriteLatencyHistogram installs an observability histogram that
+// every timed write reports its virtual service time to, in seconds.
+// nil disables the instrumentation.
+func (d *Disk) SetWriteLatencyHistogram(h *obs.Histogram) { d.writeLatency = h }
 
 // HeadCylinder reports the current cylinder of head h.
 func (d *Disk) HeadCylinder(h int) int { return d.heads[h].cylinder }
@@ -262,6 +291,9 @@ func (d *Disk) Write(h, lba int, data []byte) (time.Duration, error) {
 	t := d.serviceTime(h, lba, n, false)
 	d.stats.Writes++
 	d.stats.SectorsWritten += uint64(n)
+	if d.writeLatency != nil {
+		d.writeLatency.Observe(t.Seconds())
+	}
 	if err := d.WriteAt(lba, data); err != nil {
 		return 0, err
 	}

@@ -101,6 +101,7 @@ func All() []Result {
 		Scan(),
 		Reorg(),
 		IntervalCache(),
+		FaultTolerance(),
 	}
 }
 
@@ -124,6 +125,7 @@ func ByID(id string) (func() Result, bool) {
 		"scan":  Scan,
 		"reorg": Reorg,
 		"ic":    IntervalCache,
+		"ft":    FaultTolerance,
 	}
 	f, ok := m[strings.ToLower(id)]
 	return f, ok

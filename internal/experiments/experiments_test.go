@@ -35,7 +35,7 @@ func TestRenderProducesTable(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic"} {
+	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("experiment %q unknown", id)
 		}
@@ -369,5 +369,48 @@ func TestIntervalCache(t *testing.T) {
 	}
 	if cellInt(t, on[3]) == 0 {
 		t.Fatal("no play was cache-served at the largest cache size")
+	}
+}
+
+func TestFaultTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation sweep")
+	}
+	res := FaultTolerance()
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	// Columns: scenario, streams, completed, stopped, faults, retries, degraded, late.
+	for _, row := range res.Rows {
+		streams, completed := cellInt(t, row[1]), cellInt(t, row[2])
+		if completed != streams {
+			t.Fatalf("%s: %d/%d streams aborted mid-play", row[0], streams-completed, streams)
+		}
+		if stopped := cellInt(t, row[3]); stopped != 0 {
+			t.Fatalf("%s: %d escalation stops at realistic error rates", row[0], stopped)
+		}
+		faults, retries, degraded := cellInt(t, row[4]), cellInt(t, row[5]), cellInt(t, row[6])
+		if degraded > faults {
+			t.Fatalf("%s: %d degraded blocks exceed %d injected faults", row[0], degraded, faults)
+		}
+		// Bounded degradation: well under 10%% of the blocks played.
+		if total := streams * 100; degraded*10 >= total {
+			t.Fatalf("%s: %d of %d blocks degraded", row[0], degraded, total)
+		}
+		if row[0] != "off" && faults > 0 && retries+degraded == 0 {
+			t.Fatalf("%s: %d faults injected but none handled by the ladder", row[0], faults)
+		}
+		if late := cellInt(t, row[7]); late != 0 {
+			t.Fatalf("%s: %d late blocks — degradation leaked into continuity", row[0], late)
+		}
+	}
+	off := res.Rows[0]
+	if cellInt(t, off[4])+cellInt(t, off[5])+cellInt(t, off[6]) != 0 {
+		t.Fatalf("injection disabled but fault path active: %v", off)
+	}
+	for _, row := range res.Rows[1:] {
+		if cellInt(t, row[4]) == 0 {
+			t.Fatalf("%s: storm injected no faults", row[0])
+		}
 	}
 }

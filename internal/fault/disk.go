@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"mmfs/internal/disk"
+	"mmfs/internal/obs"
+)
+
+// ErrTransient is a read or write failure that a bounded retry may
+// clear (the drive's "recovered after retry" class).
+var ErrTransient = errors.New("fault: transient error")
+
+// ErrBadSector is a persistent media defect: retrying the same access
+// always fails. Callers must degrade or replan, never retry.
+var ErrBadSector = errors.New("fault: bad sector")
+
+// Stats counts injected faults.
+type Stats struct {
+	ReadErrors  uint64
+	WriteErrors uint64
+	BadSectors  uint64
+	Slowdowns   uint64
+	// SpikeTime is the total extra virtual service time latency spikes
+	// added on top of the base disk's timing model.
+	SpikeTime time.Duration
+}
+
+// Disk wraps a simulated disk.Disk behind the disk.Device surface,
+// injecting the Scenario's faults into the timed data path. Untimed
+// metadata access (ReadAt/WriteAt) and PeekServiceTime (a planning
+// estimate, not an access) pass through unmodified. Like the disk it
+// wraps, a Disk is not safe for concurrent use.
+type Disk struct {
+	*disk.Disk
+	sc    Scenario
+	rng   *rand.Rand
+	stats Stats
+	// forcedFails makes the next n timed reads fail with ErrTransient
+	// regardless of the rates; tests use it to script exact failures.
+	forcedFails int
+
+	readErrs, writeErrs *obs.Counter
+	badSectors          *obs.Counter
+	slowdowns           *obs.Counter
+	spikeNs             *obs.Counter
+}
+
+var _ disk.Device = (*Disk)(nil)
+
+// New wraps base with the scenario's fault stream.
+func New(base *disk.Disk, sc Scenario) *Disk {
+	return &Disk{Disk: base, sc: sc, rng: rand.New(rand.NewSource(sc.Seed))}
+}
+
+// Base returns the wrapped disk.
+func (d *Disk) Base() *disk.Disk { return d.Disk }
+
+// Scenario returns the active scenario.
+func (d *Disk) Scenario() Scenario { return d.sc }
+
+// FaultStats returns a snapshot of the injected-fault counters.
+func (d *Disk) FaultStats() Stats { return d.stats }
+
+// FailNextReads forces the next n timed reads to fail with
+// ErrTransient, ahead of any probabilistic injection. Tests use it to
+// script exact fault placements.
+func (d *Disk) FailNextReads(n int) { d.forcedFails = n }
+
+// SetObs mirrors the fault counters into an observability registry.
+func (d *Disk) SetObs(reg *obs.Registry) {
+	d.readErrs = reg.Counter("mmfs_fault_read_errors_total")
+	d.writeErrs = reg.Counter("mmfs_fault_write_errors_total")
+	d.badSectors = reg.Counter("mmfs_fault_bad_sector_errors_total")
+	d.slowdowns = reg.Counter("mmfs_fault_slowdowns_total")
+	d.spikeNs = reg.Counter("mmfs_fault_spike_ns_total")
+}
+
+// injectRead applies the fault stream to a completed timed read: the
+// base disk already charged t and moved the head (a real drive spends
+// the positioning time before discovering the error).
+func (d *Disk) injectRead(lba, n int, data []byte, t time.Duration) ([]byte, time.Duration, error) {
+	if d.sc.badSector(lba, n) {
+		d.stats.BadSectors++
+		if d.badSectors != nil {
+			d.badSectors.Inc()
+		}
+		return nil, t, ErrBadSector
+	}
+	if d.forcedFails > 0 {
+		d.forcedFails--
+		d.stats.ReadErrors++
+		if d.readErrs != nil {
+			d.readErrs.Inc()
+		}
+		return nil, t, ErrTransient
+	}
+	if d.sc.ReadErrorRate > 0 && d.rng.Float64() < d.sc.ReadErrorRate {
+		d.stats.ReadErrors++
+		if d.readErrs != nil {
+			d.readErrs.Inc()
+		}
+		return nil, t, ErrTransient
+	}
+	return data, d.maybeSlow(t), nil
+}
+
+// maybeSlow applies a latency spike to service time t.
+func (d *Disk) maybeSlow(t time.Duration) time.Duration {
+	if d.sc.SlowdownRate > 0 && d.rng.Float64() < d.sc.SlowdownRate {
+		spiked := time.Duration(float64(t) * d.sc.SlowdownFactor)
+		d.stats.Slowdowns++
+		d.stats.SpikeTime += spiked - t
+		if d.slowdowns != nil {
+			d.slowdowns.Inc()
+			d.spikeNs.Add(uint64(spiked - t))
+		}
+		return spiked
+	}
+	return t
+}
+
+// Read performs the base timed read, then injects scenario faults.
+func (d *Disk) Read(h, lba, n int) ([]byte, time.Duration, error) {
+	data, t, err := d.Disk.Read(h, lba, n)
+	if err != nil {
+		return nil, t, err
+	}
+	return d.injectRead(lba, n, data, t)
+}
+
+// ReadContiguous mirrors Read for run-continuation transfers.
+func (d *Disk) ReadContiguous(h, lba, n int) ([]byte, time.Duration, error) {
+	data, t, err := d.Disk.ReadContiguous(h, lba, n)
+	if err != nil {
+		return nil, t, err
+	}
+	return d.injectRead(lba, n, data, t)
+}
+
+// Write performs the base timed write, then injects scenario faults.
+// The simulated store already holds the data when a fault is reported,
+// which mirrors a drive failing on verify rather than on transfer.
+func (d *Disk) Write(h, lba int, data []byte) (time.Duration, error) {
+	t, err := d.Disk.Write(h, lba, data)
+	if err != nil {
+		return t, err
+	}
+	n := (len(data) + d.Geometry().SectorSize - 1) / d.Geometry().SectorSize
+	if d.sc.badSector(lba, n) {
+		d.stats.BadSectors++
+		if d.badSectors != nil {
+			d.badSectors.Inc()
+		}
+		return t, ErrBadSector
+	}
+	if d.sc.WriteErrorRate > 0 && d.rng.Float64() < d.sc.WriteErrorRate {
+		d.stats.WriteErrors++
+		if d.writeErrs != nil {
+			d.writeErrs.Inc()
+		}
+		return t, ErrTransient
+	}
+	return d.maybeSlow(t), nil
+}

@@ -1,0 +1,45 @@
+package fault
+
+import "testing"
+
+// FuzzParseScenario exercises the -fault-scenario grammar: parsing
+// must never panic, and any scenario that parses must round-trip
+// through String back to an equivalent scenario (same canonical form).
+func FuzzParseScenario(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"off",
+		"none",
+		"seed=42",
+		"readerr=0.02",
+		"writeerr=0.01",
+		"slow=0.05x4",
+		"bad=100+50",
+		"seed=7,readerr=0.05,writeerr=0.01,slow=0.1x4,bad=100+50,bad=900+8",
+		"seed=-1,readerr=1,slow=1x1",
+		"readerr=2",
+		"slow=0.5x",
+		"bad=+",
+		"seed=,readerr=",
+		",,,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sc, err := ParseScenario(spec)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("ParseScenario(%q) accepted invalid scenario: %v", spec, err)
+		}
+		canonical := sc.String()
+		again, err := ParseScenario(canonical)
+		if err != nil {
+			t.Fatalf("String() of parsed %q does not reparse: %q: %v", spec, canonical, err)
+		}
+		if again.String() != canonical {
+			t.Fatalf("canonical form unstable: %q -> %q", canonical, again.String())
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package fault provides a deterministic, seedable fault-injection
+// wrapper around the simulated disk. The paper's continuity model
+// (§3–§4) assumes a drive that always meets its worst-case service
+// time; real drives throw transient read errors, latency spikes, and
+// grown media defects that consume exactly the slack the admission
+// bound n·α + n·k·β ≤ k·γ reserves. A fault.Disk wraps a disk.Disk
+// behind the same disk.Device surface and injects those failures from
+// a Scenario, so the storage manager's fault-tolerant service path
+// (internal/msm) can be exercised reproducibly: the same seed always
+// yields the same fault sequence.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SectorRange is a half-open range [Start, Start+Count) of LBAs that
+// persistently fail — the simulated equivalent of grown media defects.
+type SectorRange struct {
+	Start int
+	Count int
+}
+
+// overlaps reports whether the range intersects [lba, lba+n).
+func (r SectorRange) overlaps(lba, n int) bool {
+	return lba < r.Start+r.Count && r.Start < lba+n
+}
+
+// Scenario configures the injected fault mix. The zero value injects
+// nothing (Active reports false) and costs nothing: core leaves the
+// raw disk in place instead of wrapping it.
+type Scenario struct {
+	// Seed seeds the deterministic fault stream; runs with equal seeds
+	// and equal access sequences see identical faults.
+	Seed int64
+	// ReadErrorRate is the probability a timed read fails with
+	// ErrTransient (a retry may succeed).
+	ReadErrorRate float64
+	// WriteErrorRate is the probability a timed write fails with
+	// ErrTransient.
+	WriteErrorRate float64
+	// SlowdownRate is the probability a timed access is hit by a
+	// latency spike: its service time is multiplied by SlowdownFactor,
+	// and the extra virtual time is charged to the caller's round.
+	SlowdownRate float64
+	// SlowdownFactor scales a spiked access's service time (≥ 1).
+	SlowdownFactor float64
+	// BadSectors are persistent defects: any timed access overlapping
+	// one fails with ErrBadSector no matter how often it is retried.
+	BadSectors []SectorRange
+}
+
+// Active reports whether the scenario injects anything at all.
+func (s Scenario) Active() bool {
+	return s.ReadErrorRate > 0 || s.WriteErrorRate > 0 || s.SlowdownRate > 0 || len(s.BadSectors) > 0
+}
+
+// Validate reports an error for an unusable scenario.
+func (s Scenario) Validate() error {
+	check := func(name string, v float64) error {
+		if !(v >= 0 && v <= 1) { // also rejects NaN
+			return fmt.Errorf("fault: %s rate %g outside [0,1]", name, v)
+		}
+		return nil
+	}
+	if err := check("read-error", s.ReadErrorRate); err != nil {
+		return err
+	}
+	if err := check("write-error", s.WriteErrorRate); err != nil {
+		return err
+	}
+	if err := check("slowdown", s.SlowdownRate); err != nil {
+		return err
+	}
+	if s.SlowdownRate > 0 && !(s.SlowdownFactor >= 1 && s.SlowdownFactor <= 1e6) {
+		return fmt.Errorf("fault: slowdown factor %g outside [1,1e6]", s.SlowdownFactor)
+	}
+	for _, r := range s.BadSectors {
+		if r.Start < 0 || r.Count < 1 {
+			return fmt.Errorf("fault: bad-sector range %d+%d invalid", r.Start, r.Count)
+		}
+	}
+	return nil
+}
+
+// badSector reports whether [lba, lba+n) touches a persistent defect.
+func (s Scenario) badSector(lba, n int) bool {
+	for _, r := range s.BadSectors {
+		if r.overlaps(lba, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseScenario parses the compact scenario syntax used by the mmfsd
+// -fault-scenario flag: comma-separated key=value items.
+//
+//	seed=42            fault-stream seed (default 1)
+//	readerr=0.02       transient read-error probability
+//	writeerr=0.01      transient write-error probability
+//	slow=0.05x4        5% of accesses take 4× their service time
+//	bad=100+50         sectors [100,150) persistently fail (repeatable)
+//
+// The empty string, "off", and "none" parse to the inactive zero
+// scenario.
+func ParseScenario(spec string) (Scenario, error) {
+	sc := Scenario{Seed: 1}
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" || spec == "none" {
+		return Scenario{}, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return Scenario{}, fmt.Errorf("fault: scenario item %q is not key=value", item)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("fault: seed %q: %v", val, err)
+			}
+			sc.Seed = n
+		case "readerr":
+			p, err := parseRate(val)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("fault: readerr %q: %v", val, err)
+			}
+			sc.ReadErrorRate = p
+		case "writeerr":
+			p, err := parseRate(val)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("fault: writeerr %q: %v", val, err)
+			}
+			sc.WriteErrorRate = p
+		case "slow":
+			rate, factor, ok := strings.Cut(val, "x")
+			if !ok {
+				return Scenario{}, fmt.Errorf("fault: slow %q is not rate x factor", val)
+			}
+			p, err := parseRate(rate)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("fault: slow rate %q: %v", rate, err)
+			}
+			f, err := strconv.ParseFloat(factor, 64)
+			if err != nil || !(f >= 1 && f <= 1e6) {
+				return Scenario{}, fmt.Errorf("fault: slow factor %q outside [1,1e6]", factor)
+			}
+			sc.SlowdownRate, sc.SlowdownFactor = p, f
+		case "bad":
+			start, count, ok := strings.Cut(val, "+")
+			if !ok {
+				return Scenario{}, fmt.Errorf("fault: bad %q is not start+count", val)
+			}
+			lo, err := strconv.Atoi(start)
+			if err != nil || lo < 0 {
+				return Scenario{}, fmt.Errorf("fault: bad start %q", start)
+			}
+			n, err := strconv.Atoi(count)
+			if err != nil || n < 1 {
+				return Scenario{}, fmt.Errorf("fault: bad count %q", count)
+			}
+			sc.BadSectors = append(sc.BadSectors, SectorRange{Start: lo, Count: n})
+		default:
+			return Scenario{}, fmt.Errorf("fault: unknown scenario key %q", key)
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// parseRate parses a probability in [0,1].
+func parseRate(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if !(p >= 0 && p <= 1) { // also rejects NaN
+		return 0, fmt.Errorf("rate %g outside [0,1]", p)
+	}
+	return p, nil
+}
+
+// String renders the scenario back in ParseScenario's syntax.
+func (s Scenario) String() string {
+	if !s.Active() {
+		return "off"
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	if s.ReadErrorRate > 0 {
+		parts = append(parts, fmt.Sprintf("readerr=%g", s.ReadErrorRate))
+	}
+	if s.WriteErrorRate > 0 {
+		parts = append(parts, fmt.Sprintf("writeerr=%g", s.WriteErrorRate))
+	}
+	if s.SlowdownRate > 0 {
+		parts = append(parts, fmt.Sprintf("slow=%gx%g", s.SlowdownRate, s.SlowdownFactor))
+	}
+	for _, r := range s.BadSectors {
+		parts = append(parts, fmt.Sprintf("bad=%d+%d", r.Start, r.Count))
+	}
+	return strings.Join(parts, ",")
+}

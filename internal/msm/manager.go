@@ -9,6 +9,7 @@ import (
 	"mmfs/internal/cache"
 	"mmfs/internal/continuity"
 	"mmfs/internal/disk"
+	"mmfs/internal/fault"
 	"mmfs/internal/sim"
 )
 
@@ -75,13 +76,46 @@ type Stats struct {
 	// Violations is the total number of continuity violations recorded
 	// across all requests (each one is also in the per-request lists).
 	Violations uint64
+	// Retries counts block reads re-attempted within a round after a
+	// transient disk fault, each charged against the round's slack.
+	Retries uint64
+	// DegradedBlocks counts blocks delivered as zero-fill because
+	// faults exhausted the retry budget (graceful degradation).
+	DegradedBlocks uint64
+	// FaultStops counts requests stopped after ConsecFailLimit
+	// consecutive degraded deliveries (the escalation tier).
+	FaultStops uint64
+}
+
+// FaultPolicy configures the manager's fault-tolerant service path.
+// Only faults injected by internal/fault trigger it; a broken plan is
+// still a programming error that kills the request.
+type FaultPolicy struct {
+	// MaxRetries bounds the in-round re-reads of one block after a
+	// transient fault. Retries are additionally bounded by the round's
+	// measured slack (k·γ − n·α − n·k·β of virtual time): an attempt
+	// whose estimated service time exceeds the remaining slack is not
+	// made, and the block degrades instead.
+	MaxRetries int
+	// ConsecFailLimit escalates degradation: a request whose last
+	// ConsecFailLimit block deliveries were all degraded is stopped
+	// (it is chewing through the shared slack every round and its
+	// output is unusable anyway). 0 disables escalation. The counter
+	// resets on every clean read and on Resume.
+	ConsecFailLimit int
+}
+
+// DefaultFaultPolicy is the policy managers start with: two retries
+// per block, escalation after eight consecutive degraded deliveries.
+func DefaultFaultPolicy() FaultPolicy {
+	return FaultPolicy{MaxRetries: 2, ConsecFailLimit: 8}
 }
 
 // Manager is the Multimedia Storage Manager: it owns the disk, the
 // virtual clock, and the active request table, and services requests
 // in rounds of k blocks per request.
 type Manager struct {
-	d      *disk.Disk
+	d      disk.Device
 	clock  sim.Clock
 	adm    continuity.Admission
 	k      int
@@ -100,10 +134,17 @@ type Manager struct {
 	// inDemote guards processDemotions against re-entry from the
 	// transition rounds a demotion's re-admission runs.
 	inDemote bool
+	// ft is the fault-tolerant service policy; retrySlack is the
+	// round's remaining retry budget in virtual time, recomputed from
+	// Eq. 18's slack at the top of every round and consumed by each
+	// retry's actual service time.
+	ft         FaultPolicy
+	retrySlack time.Duration
 	// Per-round scratch storage, reused to keep the service loop
 	// allocation-free (the round loop is the hot path).
 	scratchAct []*request
 	scratchAdm []continuity.Request
+	scratchDeg []bool
 	sorter     scanSorter
 	// obs, when set, receives per-round trace records and mirrors the
 	// counters into a metrics registry (see obs.go).
@@ -111,10 +152,33 @@ type Manager struct {
 }
 
 // New creates a manager over the disk with the given admission
-// controller. Concurrency defaults to 1 head.
-func New(d *disk.Disk, adm continuity.Admission) *Manager {
-	return &Manager{d: d, adm: adm, k: 1, concurrency: 1, nextID: 1}
+// controller. Concurrency defaults to 1 head and the fault policy to
+// DefaultFaultPolicy (it only engages on injected faults, so it is
+// safe always-on).
+func New(d disk.Device, adm continuity.Admission) *Manager {
+	return &Manager{d: d, adm: adm, k: 1, concurrency: 1, nextID: 1, ft: DefaultFaultPolicy()}
 }
+
+// SetFaultPolicy overrides the fault-tolerant service policy.
+// Negative fields are clamped to zero (zero MaxRetries degrades on the
+// first fault; zero ConsecFailLimit never escalates).
+func (m *Manager) SetFaultPolicy(p FaultPolicy) {
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.ConsecFailLimit < 0 {
+		p.ConsecFailLimit = 0
+	}
+	m.ft = p
+}
+
+// FaultPolicy reports the fault-tolerant service policy in use.
+func (m *Manager) FaultPolicy() FaultPolicy { return m.ft }
+
+// RetrySlack reports the round retry budget remaining: Eq. 18's
+// measured slack at the top of the round minus the service time of the
+// retries performed since.
+func (m *Manager) RetrySlack() time.Duration { return m.retrySlack }
 
 // SetPolicy selects the k-transition policy.
 func (m *Manager) SetPolicy(p TransitionPolicy) { m.policy = p }
@@ -434,6 +498,9 @@ func (m *Manager) Resume(id RequestID) (continuity.Decision, error) {
 		r.rec.start += shift
 	}
 	r.pause = nil
+	// A resume is an operator-visible fresh start: give the request a
+	// clean run at the escalation threshold.
+	r.consecFails = 0
 	m.reopenCacheStream(r)
 	if r.cacheServed && (!r.play.cacheOpen || !m.cache.Adopt(uint64(r.id))) {
 		// The adoption the admission was based on is gone; resolve
@@ -492,6 +559,8 @@ func (m *Manager) Progress(id RequestID) (Progress, error) {
 		p.StartTime = r.play.startTime
 		p.CacheHits = r.play.cacheHits
 		p.CacheServed = r.cacheServed
+		p.DegradedBlocks = r.play.degraded
+		p.ConsecFaults = r.consecFails
 	default:
 		p.Violations = len(r.rec.violations)
 		p.BlocksServed = r.rec.nextWrite
@@ -525,6 +594,9 @@ func (m *Manager) RunRound() bool {
 		return false
 	}
 	m.stats.Rounds++
+	// Refill the retry budget: the slack Eq. 18's worst-case charging
+	// leaves unused in this round is what fault retries may spend.
+	m.retrySlack = continuity.Duration(m.adm.SlackSeconds(m.admissionSet(), m.k))
 	if m.obs != nil {
 		defer m.recordRound(m.clock.Now(), m.k, len(m.admissionSet()), m.CacheServed(), len(act))
 	}
@@ -850,6 +922,8 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 		}
 		var maxT time.Duration
 		first := ps.nextFetch
+		deg := append(m.scratchDeg[:0], make([]bool, batch)...)
+		m.scratchDeg = deg
 		for i := 0; i < batch; i++ {
 			b := ps.plan.Blocks[first+i]
 			if b.Reader == nil {
@@ -868,16 +942,38 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 					continue
 				}
 			}
-			data, t, silent, err := b.Reader.ReadBlock(i%m.d.Heads(), b.Index)
-			if err != nil {
-				// A broken plan is a programming error in the layers
-				// above; record it as a violation at this block and
-				// stop the request.
-				m.violate(&ps.violations, Violation{Block: first + i, Deadline: m.clock.Now(), Actual: m.clock.Now()})
-				r.done = true
-				m.closeCacheStream(r)
-				return true
+			h := i % m.d.Heads()
+			data, t, silent, err := b.Reader.ReadBlock(h, b.Index)
+			if err != nil && isFault(err) {
+				data, t, silent, err = m.retryRead(b, h, t, err)
 			}
+			if err != nil {
+				if !isFault(err) {
+					// A broken plan is a programming error in the layers
+					// above; record it as a violation at this block and
+					// stop the request.
+					m.violate(&ps.violations, Violation{Block: first + i, Deadline: m.clock.Now(), Actual: m.clock.Now()})
+					r.done = true
+					m.closeCacheStream(r)
+					return true
+				}
+				// Graceful degradation: the retry budget is exhausted
+				// (or the sector is a persistent defect), so a
+				// zero-filled block stands in for the unreadable data —
+				// the display glitches for one block instead of the
+				// play aborting. The zero-fill is never cached: a
+				// following stream misses here and falls back to disk
+				// through the demotion path.
+				deg[i] = true
+				if ps.cacheOpen {
+					m.cache.Produced(uint64(r.id), b.Index)
+				}
+				if t > maxT {
+					maxT = t
+				}
+				continue
+			}
+			r.consecFails = 0
 			if silent {
 				m.stats.SilenceBlocks++
 				if ps.cacheOpen {
@@ -899,11 +995,28 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 			j := first + i
 			ps.nextFetch++
 			m.stats.BlocksFetched++
+			if deg[i] {
+				m.degradeBlock(r, j, arrival)
+				continue
+			}
 			if ps.started {
 				if dl := ps.deadline(j); arrival > dl {
 					m.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
 				}
 			}
+		}
+		if m.ft.ConsecFailLimit > 0 && r.consecFails >= m.ft.ConsecFailLimit {
+			// Escalation: every recent delivery degraded, so the
+			// stream's output is unusable and its retries are eating
+			// the shared slack round after round. Stop it; its slot
+			// returns to the admission pool.
+			m.stats.FaultStops++
+			if m.obs != nil {
+				m.obs.faultStops.Inc()
+			}
+			r.done = true
+			m.closeCacheStream(r)
+			return true
 		}
 		ps.fetchDone = arrival
 		fetched += batch
@@ -913,6 +1026,65 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 		}
 	}
 	return fetched > 0
+}
+
+// isFault reports whether a read error came from the fault-injection
+// layer (retryable or degradable) rather than a broken plan.
+func isFault(err error) bool {
+	return errors.Is(err, fault.ErrTransient) || errors.Is(err, fault.ErrBadSector)
+}
+
+// retryRead re-attempts a faulted block read, bounded by the policy's
+// MaxRetries and by the round's remaining slack: an attempt is made
+// only while its estimated service time fits the budget, and each
+// attempt's actual service time is deducted. The returned t is the
+// total time across all attempts (the caller's batch charges it to the
+// clock); persistent defects (ErrBadSector) are never retried.
+func (m *Manager) retryRead(b PlannedBlock, h int, t0 time.Duration, err0 error) ([]byte, time.Duration, bool, error) {
+	total, err := t0, err0
+	for attempt := 0; attempt < m.ft.MaxRetries; attempt++ {
+		if !errors.Is(err, fault.ErrTransient) {
+			break
+		}
+		est, perr := b.Reader.PeekBlockTime(h, b.Index)
+		if perr != nil || est > m.retrySlack {
+			break
+		}
+		data, t, silent, rerr := b.Reader.ReadBlock(h, b.Index)
+		total += t
+		if t >= m.retrySlack {
+			m.retrySlack = 0
+		} else {
+			m.retrySlack -= t
+		}
+		m.stats.Retries++
+		if m.obs != nil {
+			m.obs.retries.Inc()
+		}
+		if rerr == nil {
+			return data, total, silent, nil
+		}
+		err = rerr
+	}
+	return nil, total, false, err
+}
+
+// degradeBlock records one zero-fill delivery: a Degraded violation at
+// the block, the per-request and manager counters, and the consecutive-
+// failure count the escalation threshold watches.
+func (m *Manager) degradeBlock(r *request, j int, arrival time.Duration) {
+	ps := r.play
+	dl := arrival
+	if ps.started {
+		dl = ps.deadline(j)
+	}
+	m.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival, Cause: CauseDegraded})
+	ps.degraded++
+	r.consecFails++
+	m.stats.DegradedBlocks++
+	if m.obs != nil {
+		m.obs.degraded.Inc()
+	}
 }
 
 // deadline is the display start time of plan block j.

@@ -22,14 +22,18 @@ type roundObs struct {
 	admAccepted, admRejected *obs.Counter
 	admCacheServed           *obs.Counter
 	demotions, transitions   *obs.Counter
+	retries, degraded        *obs.Counter
+	faultStops               *obs.Counter
 
 	kGauge, activeGauge, cacheServedGauge *obs.Gauge
+	retrySlackGauge                       *obs.Gauge
 
 	// last* are the cumulative values already attributed to recorded
 	// rounds.
-	lastBlocks, lastWritten uint64
-	lastHits, lastViol      uint64
-	lastBusy                time.Duration
+	lastBlocks, lastWritten  uint64
+	lastHits, lastViol       uint64
+	lastRetries, lastDegrade uint64
+	lastBusy                 time.Duration
 }
 
 // SetObs wires the manager to an observability registry and service-
@@ -51,13 +55,18 @@ func (m *Manager) SetObs(reg *obs.Registry, ring *obs.TraceRing) {
 		admCacheServed:   reg.Counter("mmfs_admission_cache_served_total"),
 		demotions:        reg.Counter("mmfs_demotions_total"),
 		transitions:      reg.Counter("mmfs_transition_steps_total"),
+		retries:          reg.Counter("mmfs_retries_total"),
+		degraded:         reg.Counter("mmfs_degraded_blocks_total"),
+		faultStops:       reg.Counter("mmfs_fault_stops_total"),
 		kGauge:           reg.Gauge("mmfs_k"),
 		activeGauge:      reg.Gauge("mmfs_active_requests"),
 		cacheServedGauge: reg.Gauge("mmfs_cache_served_requests"),
+		retrySlackGauge:  reg.Gauge("mmfs_retry_slack_ns"),
 	}
 	// Anchor the deltas: work done before SetObs is not re-attributed.
 	o.lastBlocks, o.lastWritten = m.stats.BlocksFetched, m.stats.BlocksWritten
 	o.lastHits, o.lastViol = m.stats.CacheHits, m.stats.Violations
+	o.lastRetries, o.lastDegrade = m.stats.Retries, m.stats.DegradedBlocks
 	o.lastBusy = m.d.Stats().BusyTime()
 	o.kGauge.Set(int64(m.k))
 	m.obs = o
@@ -82,6 +91,9 @@ func (m *Manager) recordRound(start time.Duration, kAtStart, active, cacheServed
 		DiskBusyNs:    int64(busy - o.lastBusy),
 		CacheHits:     m.stats.CacheHits - o.lastHits,
 		Violations:    m.stats.Violations - o.lastViol,
+		Retries:       m.stats.Retries - o.lastRetries,
+		Degraded:      m.stats.DegradedBlocks - o.lastDegrade,
+		RetrySlackNs:  int64(m.retrySlack),
 	}
 	o.rounds.Inc()
 	o.blocks.Add(tr.BlocksRead)
@@ -92,8 +104,10 @@ func (m *Manager) recordRound(start time.Duration, kAtStart, active, cacheServed
 	o.kGauge.Set(int64(m.k))
 	o.activeGauge.Set(int64(active))
 	o.cacheServedGauge.Set(int64(cacheServed))
+	o.retrySlackGauge.Set(int64(m.retrySlack))
 	o.lastBlocks, o.lastWritten = m.stats.BlocksFetched, m.stats.BlocksWritten
 	o.lastHits, o.lastViol = m.stats.CacheHits, m.stats.Violations
+	o.lastRetries, o.lastDegrade = m.stats.Retries, m.stats.DegradedBlocks
 	o.lastBusy = busy
 	if o.ring != nil {
 		o.ring.Append(tr)

@@ -33,7 +33,7 @@ type PlanOptions struct {
 // per media block, each with its recording-rate playback duration
 // (adjusted for fast-forward), plus the admission-control description
 // of the request.
-func PlanStrandPlay(d *disk.Disk, s *strand.Strand, opts PlanOptions) (PlayPlan, error) {
+func PlanStrandPlay(d disk.Device, s *strand.Strand, opts PlanOptions) (PlayPlan, error) {
 	return PlanIntervalPlay(d, []IntervalRef{{Strand: s, StartUnit: 0, NumUnits: s.UnitCount()}}, opts)
 }
 
@@ -52,7 +52,7 @@ type IntervalRef struct {
 // share one medium; the admission description uses the first strand's
 // parameters and the worst realized scattering across the intervals
 // (including the junction hops between intervals).
-func PlanIntervalPlay(d *disk.Disk, ivs []IntervalRef, opts PlanOptions) (PlayPlan, error) {
+func PlanIntervalPlay(d disk.Device, ivs []IntervalRef, opts PlanOptions) (PlayPlan, error) {
 	if len(ivs) == 0 {
 		return PlayPlan{}, fmt.Errorf("msm: empty interval list")
 	}
@@ -164,7 +164,7 @@ func PlanIntervalPlay(d *disk.Disk, ivs []IntervalRef, opts PlanOptions) (PlayPl
 // ExpandInterval compiles one strand unit-range into planned blocks at
 // normal speed, pro-rating edge blocks covered only partially. Rope
 // playback uses it to assemble multi-interval plans.
-func ExpandInterval(d *disk.Disk, s *strand.Strand, startUnit, numUnits uint64) ([]PlannedBlock, error) {
+func ExpandInterval(d disk.Device, s *strand.Strand, startUnit, numUnits uint64) ([]PlannedBlock, error) {
 	if numUnits == 0 {
 		return nil, nil
 	}
@@ -193,7 +193,7 @@ func ExpandInterval(d *disk.Disk, s *strand.Strand, startUnit, numUnits uint64) 
 // MaxPlanScatter computes the worst inter-block positioning time over
 // a block sequence, including hops across strand boundaries; it is the
 // honest scattering estimate for admission control of compiled plans.
-func MaxPlanScatter(d *disk.Disk, blocks []PlannedBlock) time.Duration {
+func MaxPlanScatter(d disk.Device, blocks []PlannedBlock) time.Duration {
 	g := d.Geometry()
 	var maxT time.Duration
 	prevCyl := -1
@@ -227,7 +227,7 @@ func absInt(x int) int {
 // (the rope layer's compile target). The admission request supplies
 // granularity/rate/unit size; a zero Scattering is replaced by the
 // measured worst hop of the sequence.
-func PlanBlocksPlay(d *disk.Disk, name string, blocks []PlannedBlock, adm continuity.Request, opts PlanOptions) (PlayPlan, error) {
+func PlanBlocksPlay(d disk.Device, name string, blocks []PlannedBlock, adm continuity.Request, opts PlanOptions) (PlayPlan, error) {
 	if len(blocks) == 0 {
 		return PlayPlan{}, fmt.Errorf("msm: plan %q compiles to zero blocks", name)
 	}

@@ -124,6 +124,27 @@ func (p RecordPlan) Validate() error {
 	return p.Admission.Validate()
 }
 
+// Cause classifies a continuity violation.
+type Cause int
+
+const (
+	// CauseLate is the classic continuity violation: the block arrived
+	// after its display deadline (or a capture buffer overflowed).
+	CauseLate Cause = iota
+	// CauseDegraded marks a block delivered as zero-fill after disk
+	// faults exhausted the round's retry budget; the stream stays
+	// admitted (graceful degradation instead of an aborted play).
+	CauseDegraded
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	if c == CauseDegraded {
+		return "degraded"
+	}
+	return "late"
+}
+
 // Violation records one continuity failure.
 type Violation struct {
 	// Block is the plan index (play) or block number (record).
@@ -134,6 +155,8 @@ type Violation struct {
 	// Actual is when the block actually arrived (read completed) or
 	// was written.
 	Actual time.Duration
+	// Cause classifies the violation (late vs degraded delivery).
+	Cause Cause
 }
 
 // Lateness is how far past the deadline the block was.
@@ -161,6 +184,10 @@ type request struct {
 	// demotion re-runs admission (whose transition rounds recurse into
 	// RunRound).
 	demoting bool
+	// consecFails counts consecutive degraded block deliveries; it
+	// resets on every clean disk read and on Resume, and reaching
+	// FaultPolicy.ConsecFailLimit escalates degradation to a stop.
+	consecFails int
 }
 
 // playState tracks a PLAY request.
@@ -185,6 +212,9 @@ type playState struct {
 	cacheSID      strand.ID
 	cacheEnd      int
 	cacheHits     int
+	// degraded counts the blocks delivered as zero-fill because disk
+	// faults exhausted the retry budget.
+	degraded int
 }
 
 // recordState tracks a RECORD request.
@@ -223,6 +253,12 @@ type Progress struct {
 	// CacheServed reports the request is currently an interval-cache
 	// follower charging no disk time.
 	CacheServed bool
+	// DegradedBlocks is blocks delivered as zero-fill after disk
+	// faults exhausted the retry budget (play only).
+	DegradedBlocks int
+	// ConsecFaults is the current consecutive-degradation count toward
+	// the escalation threshold; Resume resets it.
+	ConsecFaults int
 }
 
 // planCacheRange reports the strand block range a play plan covers

@@ -33,6 +33,15 @@ type RoundTrace struct {
 	// Violations is the number of continuity violations recorded
 	// during the round; any nonzero value means a deadline was missed.
 	Violations uint64 `json:"violations"`
+	// Retries is the number of faulted block reads re-attempted during
+	// the round, each charged against the round's retry slack.
+	Retries uint64 `json:"retries"`
+	// Degraded is the number of blocks delivered as zero-fill during
+	// the round after faults exhausted the retry budget.
+	Degraded uint64 `json:"degraded"`
+	// RetrySlackNs is the retry budget left when the round ended:
+	// Eq. 18's measured slack minus the retries' service time.
+	RetrySlackNs int64 `json:"retry_slack_ns"`
 }
 
 // DefaultTraceRounds is the default trace ring capacity: enough to

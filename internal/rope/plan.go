@@ -18,7 +18,7 @@ import (
 // correspondence plus equal recording rates then keep the media in
 // sync (§4: "the block-level correspondence and the recording rate
 // information together maintain inter-media synchronization").
-func (s *Store) CompilePlay(d *disk.Disk, r *Rope, m Medium, start, dur time.Duration, opts msm.PlanOptions) (msm.PlayPlan, error) {
+func (s *Store) CompilePlay(d disk.Device, r *Rope, m Medium, start, dur time.Duration, opts msm.PlanOptions) (msm.PlayPlan, error) {
 	if m == AudioVisual {
 		return msm.PlayPlan{}, fmt.Errorf("rope: compile one medium at a time")
 	}

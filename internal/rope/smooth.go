@@ -19,7 +19,7 @@ import (
 // strand, redistributed "equally in the region" between the junction
 // ends, so that every inter-block access stays within bounds.
 type Editor struct {
-	d     *disk.Disk
+	d     disk.Device
 	a     *alloc.Allocator
 	ropes *Store
 	// MaxCylinders is the placement policy's scattering upper bound
@@ -32,7 +32,7 @@ type Editor struct {
 }
 
 // NewEditor creates an editor with the given placement policy.
-func NewEditor(d *disk.Disk, a *alloc.Allocator, ropes *Store, maxCylinders int) *Editor {
+func NewEditor(d disk.Device, a *alloc.Allocator, ropes *Store, maxCylinders int) *Editor {
 	return &Editor{d: d, a: a, ropes: ropes, MaxCylinders: maxCylinders, DenseThreshold: 0.85}
 }
 

@@ -38,6 +38,10 @@ type recordSession struct {
 	audio   *mediaBuf
 }
 
+// ErrServerBusy is returned to a client whose connection is refused
+// because the server is at its MaxConns limit or draining.
+var ErrServerBusy = errors.New("server: busy")
+
 // Server serves the MRS protocol over a listener. All file system
 // access is serialized: the simulated disk is single-ported and the
 // storage manager's virtual clock is global, exactly like the
@@ -48,22 +52,40 @@ type Server struct {
 	sessions map[uint64]*recordSession // guarded by mu
 	nextSess uint64                    // guarded by mu
 
-	lis    net.Listener // guarded by mu
-	wg     sync.WaitGroup
-	closed bool // guarded by mu
+	lis      net.Listener          // guarded by mu
+	conns    map[net.Conn]struct{} // guarded by mu
+	wg       sync.WaitGroup
+	closed   bool // guarded by mu
+	draining bool // guarded by mu
 
 	// reg is the file system's metrics registry; inflight counts
 	// requests between frame parse and response write (it is the only
 	// server metric mutated outside mu — the gauge is atomic).
 	reg      *obs.Registry
 	inflight *obs.Gauge
+	openConn *obs.Gauge
 	opCount  map[wire.Op]*obs.Counter // guarded by mu
 	errCount *obs.Counter
+	rejected *obs.Counter
 
 	// Logf, when non-nil, receives operational log lines (abnormal
 	// connection teardown and the like). It must be set before Serve
 	// and is read without the lock thereafter.
 	Logf func(format string, args ...any)
+
+	// ReadTimeout, when positive, bounds how long a connection may sit
+	// between requests: the per-frame read deadline is refreshed before
+	// each request, so an idle or wedged client is dropped rather than
+	// holding its slot forever. Set before Serve.
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds each response write; a client
+	// that stops draining its socket cannot wedge the server. Set
+	// before Serve.
+	WriteTimeout time.Duration
+	// MaxConns, when positive, caps concurrent connections; excess
+	// connections receive one ErrServerBusy response frame and are
+	// closed. Set before Serve.
+	MaxConns int
 }
 
 // New creates a server over a mounted file system.
@@ -73,10 +95,13 @@ func New(fs *core.FS) *Server {
 		fs:       fs,
 		sessions: make(map[uint64]*recordSession),
 		nextSess: 1,
+		conns:    make(map[net.Conn]struct{}),
 		reg:      reg,
 		inflight: reg.Gauge("mmfs_server_inflight_requests"),
+		openConn: reg.Gauge("mmfs_server_open_conns"),
 		opCount:  make(map[wire.Op]*obs.Counter),
 		errCount: reg.Counter("mmfs_server_errors_total"),
+		rejected: reg.Counter("mmfs_server_rejected_conns_total"),
 	}
 }
 
@@ -101,18 +126,61 @@ func (s *Server) Serve(lis net.Listener) error {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting and drains gracefully: connections mid-request
+// finish their request and have the response delivered, idle
+// connections are nudged out of their blocking read, and Close returns
+// once every connection handler has exited.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	s.draining = true
 	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var err error
 	if lis != nil {
 		err = lis.Close()
 	}
+	// Expire the read deadline of every open connection: a handler
+	// blocked waiting for the next request returns immediately, while a
+	// handler mid-request is untouched until it re-enters the read.
+	for _, c := range conns {
+		//lint:ignore simclock,noerrdrop connection deadlines guard real network I/O; a failed set means the conn is already dead
+		_ = c.SetReadDeadline(time.Now())
+	}
 	s.wg.Wait()
 	return err
+}
+
+// isDraining reports whether Close has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// registerConn admits a connection into the conn table; false means
+// the server is full or draining and the connection must be refused.
+func (s *Server) registerConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || (s.MaxConns > 0 && len(s.conns) >= s.MaxConns) {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.openConn.Set(int64(len(s.conns)))
+	return true
+}
+
+// unregisterConn removes a connection from the conn table.
+func (s *Server) unregisterConn(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+	s.openConn.Set(int64(len(s.conns)))
 }
 
 // logf writes one operational log line through Logf, if set.
@@ -124,12 +192,38 @@ func (s *Server) logf(format string, args ...any) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	if !s.registerConn(conn) {
+		// Over MaxConns (or draining): refuse with one error frame so
+		// the client's first call fails with a diagnosis instead of a
+		// silent hangup.
+		s.rejected.Inc()
+		if s.WriteTimeout > 0 {
+			//lint:ignore simclock,noerrdrop connection deadlines guard real network I/O; a failed set means the conn is already dead
+			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		//lint:ignore noerrdrop best-effort refusal notice; the deferred Close is the real remedy
+		_ = wire.WriteFrame(conn, wire.ErrResponse(ErrServerBusy))
+		return
+	}
+	defer s.unregisterConn(conn)
 	for {
+		if s.ReadTimeout > 0 {
+			//lint:ignore simclock,noerrdrop connection deadlines guard real network I/O; a failed set means the conn is already dead
+			_ = conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
+		// Checked after the deadline refresh: either this sees the
+		// drain and returns, or Close's expired-deadline nudge lands
+		// after the refresh and unblocks the read below — never a
+		// lingering connection.
+		if s.isDraining() {
+			return
+		}
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
-			if err != io.EOF {
-				// Connection torn down mid-frame: surface it so a
-				// misbehaving client or network is not silent.
+			if err != io.EOF && !s.isDraining() {
+				// Connection torn down mid-frame (or idle past the
+				// read deadline): surface it so a misbehaving client
+				// or network is not silent.
 				s.logf("server: %v: reading frame: %v", conn.RemoteAddr(), err)
 			}
 			return
@@ -141,7 +235,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		} else {
 			resp = s.handle(op, body)
 		}
+		if s.WriteTimeout > 0 {
+			//lint:ignore simclock,noerrdrop connection deadlines guard real network I/O; a failed set means the conn is already dead
+			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		if err := wire.WriteFrame(conn, resp); err != nil {
+			return
+		}
+		if s.isDraining() {
+			// Graceful drain: the in-flight request got its response;
+			// end the connection instead of accepting another.
 			return
 		}
 	}
@@ -608,6 +711,8 @@ func (s *Server) stats(d *wire.Decoder, e *wire.Encoder) error {
 		intervals = uint32(cs.Intervals)
 	}
 	e.U64(bytes).U64(capacity).U32(intervals)
+	// Fault-tolerance section: the degradation ladder's tier counters.
+	e.U64(st.Retries).U64(st.DegradedBlocks).U64(st.FaultStops)
 	return nil
 }
 

@@ -24,11 +24,11 @@ func SilenceFill(m layout.Medium) byte {
 // rounds; untimed unit access serves verification and editing.
 type Reader struct {
 	s *Strand
-	d *disk.Disk
+	d disk.Device
 }
 
 // NewReader creates a reader over the strand.
-func NewReader(d *disk.Disk, s *Strand) *Reader { return &Reader{s: s, d: d} }
+func NewReader(d disk.Device, s *Strand) *Reader { return &Reader{s: s, d: d} }
 
 // Strand returns the strand being read.
 func (r *Reader) Strand() *Strand { return r.s }
@@ -37,7 +37,9 @@ func (r *Reader) Strand() *Strand { return r.s }
 // returning the block payload (trimmed to the real unit count for the
 // final partial block), the disk service time, and whether the block
 // was a silence holder (service time zero — a delay holder consumes
-// playback time but no disk time).
+// playback time but no disk time). On a disk error the returned t is
+// the service time the failed access still cost; the storage manager
+// charges it against the round before retrying.
 func (r *Reader) ReadBlock(h, i int) (data []byte, t time.Duration, silent bool, err error) {
 	e, err := r.s.Block(i)
 	if err != nil {
@@ -54,7 +56,7 @@ func (r *Reader) ReadBlock(h, i int) (data []byte, t time.Duration, silent bool,
 	}
 	raw, t, err := r.d.Read(h, int(e.Sector), int(e.SectorCount))
 	if err != nil {
-		return nil, 0, false, err
+		return nil, t, false, err
 	}
 	if r.s.Variable() {
 		// Variable-rate blocks are self-describing; return them raw.

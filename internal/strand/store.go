@@ -16,14 +16,14 @@ import (
 // by the interests-based garbage collector (internal/gc); Remove here
 // frees the strand's media and index sectors.
 type Store struct {
-	d       *disk.Disk
+	d       disk.Device
 	a       *alloc.Allocator
 	strands map[ID]*Strand
 	nextID  ID
 }
 
 // NewStore creates an empty registry over the disk and allocator.
-func NewStore(d *disk.Disk, a *alloc.Allocator) *Store {
+func NewStore(d disk.Device, a *alloc.Allocator) *Store {
 	return &Store{d: d, a: a, strands: make(map[ID]*Strand), nextID: 1}
 }
 

@@ -62,7 +62,7 @@ func (c WriterConfig) validate() error {
 // index. The strand becomes immutable the moment Close returns.
 type Writer struct {
 	cfg      WriterConfig
-	d        *disk.Disk
+	d        disk.Device
 	a        *alloc.Allocator
 	pending  []media.Unit
 	entries  []layout.PrimaryEntry
@@ -73,7 +73,7 @@ type Writer struct {
 }
 
 // NewWriter starts recording a strand.
-func NewWriter(d *disk.Disk, a *alloc.Allocator, cfg WriterConfig) (*Writer, error) {
+func NewWriter(d disk.Device, a *alloc.Allocator, cfg WriterConfig) (*Writer, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
