@@ -4,7 +4,7 @@ GO ?= go
 # subset keeps CI latency down while still covering every mutex.
 RACE_PKGS = ./internal/server ./internal/msm ./internal/client ./internal/cache ./internal/obs ./internal/fault
 
-.PHONY: all build test race lint bench bench-baseline bench-compare fuzz chaos clean
+.PHONY: all build test race lint lint-fix-check bench bench-baseline bench-compare fuzz chaos clean
 
 all: build lint test
 
@@ -18,10 +18,17 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # lint = the standard vet suite plus mmfsvet, the project's own
-# invariant checkers (see DESIGN.md "Invariants & static analysis").
+# invariant checkers (see DESIGN.md "Invariants & static analysis" and
+# "Concurrency invariants"). Findings are also archived to mmfsvet.json
+# so CI can upload them as an artifact.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/mmfsvet ./...
+	$(GO) run ./cmd/mmfsvet -json mmfsvet.json ./...
+
+# Assert the tree is finding-free, annotating the diff when run under
+# GitHub Actions. This is the CI gate: any new finding fails the build.
+lint-fix-check:
+	$(GO) run ./cmd/mmfsvet -github -json mmfsvet.json ./...
 
 # One pass over every benchmark (the experiment tables plus the
 # hot-path micros), archived as JSON for cross-commit diffing.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -79,7 +80,15 @@ func compareReports(base, cur Report, tol float64) []string {
 		if bb.NsPerOp > 0 {
 			worse(bb.Name, "ns/op", bb.NsPerOp, cb.NsPerOp)
 		}
-		for metric, bv := range bb.Metrics {
+		// Walk metrics in sorted order so the regression report reads
+		// the same from run to run.
+		metrics := make([]string, 0, len(bb.Metrics))
+		for metric := range bb.Metrics {
+			metrics = append(metrics, metric)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			bv := bb.Metrics[metric]
 			cv, ok := cb.Metrics[metric]
 			if !ok {
 				continue

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -76,13 +77,16 @@ func main() {
 	fmt.Printf("mmfsd: serving on %s\n", lis.Addr())
 
 	var mlis net.Listener
+	var metricsWG sync.WaitGroup
 	if *metrics != "" {
 		mlis, err = net.Listen("tcp", *metrics)
 		if err != nil {
 			log.Fatalf("mmfsd: metrics listen: %v", err)
 		}
 		fmt.Printf("mmfsd: metrics on http://%s/metrics (trace at /trace)\n", mlis.Addr())
+		metricsWG.Add(1)
 		go func() {
+			defer metricsWG.Done()
 			if err := http.Serve(mlis, obs.Handler(fs.Metrics(), fs.Trace())); err != nil && !errors.Is(err, net.ErrClosed) {
 				log.Printf("mmfsd: metrics serve: %v", err)
 			}
@@ -115,5 +119,8 @@ func main() {
 	}
 	// Serve returns nil only when the drain path closed the listener;
 	// wait for the drain itself to finish before exiting the process.
+	// The drain closes the metrics listener, which unblocks the
+	// metrics goroutine; join it so its final log line is not lost.
 	<-drained
+	metricsWG.Wait()
 }

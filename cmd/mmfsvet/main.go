@@ -5,43 +5,51 @@
 //
 //	path/file.go:line:col: [analyzer] message
 //
+// Flags:
+//
+//	-v            list the packages and analyzers as they run
+//	-json FILE    also write the findings as a JSON array to FILE
+//	              (written even when the tree is clean, so CI always
+//	              has an artifact to upload)
+//	-github       emit GitHub Actions ::error workflow commands so
+//	              findings annotate the PR diff
+//
 // The exit status is 0 when the tree is clean, 1 when findings were
 // reported, and 2 when loading or analysis failed. Individual findings
 // are suppressed with a `//lint:ignore <analyzer> reason` comment on
-// the flagged line or the line above it; DESIGN.md documents the five
+// the flagged line or the line above it; DESIGN.md documents the
 // checked invariants.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"mmfs/internal/analysis"
-	"mmfs/internal/analysis/lockguard"
-	"mmfs/internal/analysis/noerrdrop"
-	"mmfs/internal/analysis/simclock"
-	"mmfs/internal/analysis/unitsafety"
-	"mmfs/internal/analysis/wireswitch"
+	"mmfs/internal/analysis/all"
 )
 
-// analyzers is the suite run over every loaded package (each analyzer
-// still scopes itself via PathPrefixes).
-var analyzers = []*analysis.Analyzer{
-	unitsafety.Analyzer,
-	lockguard.Analyzer,
-	wireswitch.Analyzer,
-	noerrdrop.Analyzer,
-	simclock.Analyzer,
+// finding is the JSON shape of one diagnostic, stable for CI tooling.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
+	analyzers := all.Analyzers()
 	verbose := flag.Bool("v", false, "list the packages and analyzers as they run")
+	jsonPath := flag.String("json", "", "write findings as a JSON array to this file")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mmfsvet [-v] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: mmfsvet [-v] [-json file] [-github] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -73,6 +81,7 @@ func main() {
 		os.Exit(2)
 	}
 	cwd, _ := os.Getwd()
+	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
 		pos := pkgs[0].Fset.Position(d.Pos)
 		name := pos.Filename
@@ -81,9 +90,31 @@ func main() {
 				name = rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+		findings = append(findings, finding{
+			File:     name,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	if len(diags) > 0 {
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		if *github {
+			fmt.Printf("::error file=%s,line=%d,col=%d::[%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(findings, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmfsvet: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
+	}
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"mmfs/internal/client"
@@ -35,7 +36,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go func() { _ = srv.Serve(lis) }()
+	// Join the serve goroutine on exit: Close (registered later, so it
+	// runs first) shuts the listener, Serve returns, Wait releases.
+	var served sync.WaitGroup
+	served.Add(1)
+	defer served.Wait()
+	go func() { defer served.Done(); _ = srv.Serve(lis) }()
 	defer srv.Close()
 	fmt.Printf("MRS serving on %s\n", lis.Addr())
 

@@ -1,0 +1,64 @@
+package all_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmfs/internal/analysis/all"
+)
+
+// TestRegistry asserts every registered analyzer is fit for the
+// multichecker: named, documented, and covered by at least one fixture
+// file under internal/analysis/testdata/src/<name>/.
+func TestRegistry(t *testing.T) {
+	analyzers := all.Analyzers()
+	if len(analyzers) < 10 {
+		t.Fatalf("expected the full suite (>=10 analyzers), got %d", len(analyzers))
+	}
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.Name == "" {
+			t.Errorf("analyzer with empty Name (doc %q)", a.Doc)
+			continue
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %s registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run function", a.Name)
+		}
+		dir := filepath.Join("..", "testdata", "src", a.Name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("analyzer %s has no fixture directory %s: %v", a.Name, dir, err)
+			continue
+		}
+		fixtures := 0
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				fixtures++
+			}
+		}
+		if fixtures == 0 {
+			t.Errorf("analyzer %s has no .go fixtures under %s", a.Name, dir)
+		}
+	}
+}
+
+// TestScopesResolve asserts every PathPrefixes entry is rooted in the
+// module, so a typo cannot silently scope an analyzer to nothing.
+func TestScopesResolve(t *testing.T) {
+	for _, a := range all.Analyzers() {
+		for _, p := range a.PathPrefixes {
+			if p != "mmfs" && !strings.HasPrefix(p, "mmfs/") {
+				t.Errorf("analyzer %s scope %q is not rooted in the module path", a.Name, p)
+			}
+		}
+	}
+}

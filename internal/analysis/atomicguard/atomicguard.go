@@ -1,0 +1,151 @@
+// Package atomicguard keeps each shared field on exactly one
+// synchronization discipline. The obs hot counters are sharded atomics
+// precisely so the round loop never takes a lock to bump them; that
+// only stays correct if every access to such a field goes through
+// sync/atomic. Two mixtures are flagged:
+//
+//  1. a field that is the target of a sync/atomic function call
+//     (atomic.AddUint64(&s.f, 1), LoadInt64(&s.f), ...) anywhere in
+//     the package must never be read or written plainly — the plain
+//     access races with the atomic ones and the race detector only
+//     catches it when both sides run;
+//  2. a field whose type is from sync/atomic (atomic.Uint64, ...) or
+//     that is atomically accessed must not also carry a
+//     `// guarded by <mutex>` annotation — double discipline means
+//     readers disagree about which one protects the field.
+//
+// Typed atomics (atomic.Uint64 et al.) are otherwise safe by
+// construction and preferred; the function-call form is what this
+// analyzer polices. Suppress a finding with //lint:ignore atomicguard.
+package atomicguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"mmfs/internal/analysis"
+)
+
+// Analyzer flags mixed atomic/plain/mutex access to the same field.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicguard",
+	Doc: "flag fields accessed both via sync/atomic and plainly, and atomic fields " +
+		"that also carry a `guarded by` mutex annotation; one discipline per field",
+	PathPrefixes: []string{analysis.ModulePath},
+	Run:          run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// atomicFnRe matches the sync/atomic functions whose first argument
+// addresses the field they operate on.
+var atomicFnRe = regexp.MustCompile(`^(Add|Load|Store|Swap|CompareAndSwap|And|Or)`)
+
+func run(pass *analysis.Pass) error {
+	// atomicFields maps field objects reached via atomic.Xxx(&expr)
+	// calls; atomicArgs records those selector nodes so the plain-access
+	// walk can skip them.
+	atomicFields := make(map[types.Object]bool)
+	atomicArgs := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFnRe.MatchString(fn.Name()) {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				atomicFields[s.Obj()] = true
+				atomicArgs[sel] = true
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		checkStructDecls(pass, f, atomicFields)
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal || !atomicFields[s.Obj()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; "+
+				"this plain access races with it — use the atomic API here too", s.Obj().Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStructDecls flags fields that pair an atomic discipline with a
+// `guarded by` annotation.
+func checkStructDecls(pass *analysis.Pass, f *ast.File, atomicFields map[types.Object]bool) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				mutex := guardAnnotation(field)
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					pkg, _ := analysis.Named(obj.Type())
+					if pkg == "sync/atomic" || atomicFields[obj] {
+						pass.Reportf(name.Pos(), "field %s is atomic but annotated `guarded by %s`; "+
+							"pick one discipline — drop the annotation or make every access take the mutex", name.Name, mutex)
+					}
+				}
+			}
+		}
+	}
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or
+// trailing comment, or "" when unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}

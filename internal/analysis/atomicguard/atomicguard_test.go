@@ -1,0 +1,12 @@
+package atomicguard_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/atomicguard"
+)
+
+func TestAtomicGuard(t *testing.T) {
+	analysistest.Run(t, atomicguard.Analyzer)
+}

@@ -1,0 +1,12 @@
+package blockinglock_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/blockinglock"
+)
+
+func TestBlockingLock(t *testing.T) {
+	analysistest.Run(t, blockinglock.Analyzer)
+}

@@ -1,0 +1,189 @@
+// Package deadlineguard keeps real network I/O deadline-capable. A
+// net.Conn Read or Write with no reachable SetDeadline means one
+// wedged peer can hold a connection slot (and its goroutine) forever —
+// exactly what the server's ReadTimeout/WriteTimeout hardening and the
+// client's RPCTimeout exist to prevent, and what a high-fanout HTTP
+// edge multiplies by thousands.
+//
+// Within each function, a conn Read (a Read method on a net type, or a
+// net-typed value passed to another package's Read* function such as
+// wire.ReadFrame) must be preceded by a SetReadDeadline or SetDeadline
+// call on the same expression; writes likewise require SetWriteDeadline
+// or SetDeadline. The check is syntactic domination by source position:
+// a deadline set under `if timeout > 0` counts — the capability must
+// exist on the flow, enabling it stays a configuration decision.
+// Helpers whose callers own the deadline opt out with
+// //lint:ignore deadlineguard <reason>.
+package deadlineguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mmfs/internal/analysis"
+)
+
+// Analyzer flags undeadlined net.Conn I/O in the server/client paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadlineguard",
+	Doc: "flag net.Conn Read/Write calls (direct or via Read*/Write* helpers) not preceded " +
+		"by a SetReadDeadline/SetWriteDeadline/SetDeadline on the same connection in the function",
+	PathPrefixes: []string{
+		analysis.ModulePath + "/internal/server",
+		analysis.ModulePath + "/internal/client",
+		analysis.ModulePath + "/cmd",
+	},
+	Run: run,
+}
+
+// ioCall is one conn Read or Write found in a function.
+type ioCall struct {
+	pos   token.Pos
+	conn  string // rendering of the connection expression
+	write bool
+	desc  string
+}
+
+// deadlineSet is one Set*Deadline call.
+type deadlineSet struct {
+	pos   token.Pos
+	conn  string
+	read  bool
+	write bool
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var ios []ioCall
+	var sets []deadlineSet
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, lit.Body)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if set, ok := deadlineCall(pass, call); ok {
+			sets = append(sets, set)
+			return true
+		}
+		if io, ok := connIO(pass, call); ok {
+			ios = append(ios, io)
+		}
+		return true
+	})
+	for _, io := range ios {
+		if covered(io, sets) {
+			continue
+		}
+		verb := "SetReadDeadline"
+		if io.write {
+			verb = "SetWriteDeadline"
+		}
+		pass.Reportf(io.pos, "%s on %s has no preceding %s or SetDeadline in this function; "+
+			"an undeadlined conn can wedge its goroutine forever — set one, or //lint:ignore deadlineguard if the caller owns the deadline",
+			io.desc, io.conn, verb)
+	}
+}
+
+// covered reports whether a matching deadline set precedes the I/O on
+// the same connection expression.
+func covered(io ioCall, sets []deadlineSet) bool {
+	for _, s := range sets {
+		if s.pos >= io.pos || s.conn != io.conn {
+			continue
+		}
+		if (io.write && s.write) || (!io.write && s.read) {
+			return true
+		}
+	}
+	return false
+}
+
+// deadlineCall classifies conn.SetDeadline/SetReadDeadline/
+// SetWriteDeadline calls on net types.
+func deadlineCall(pass *analysis.Pass, call *ast.CallExpr) (deadlineSet, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return deadlineSet{}, false
+	}
+	var read, write bool
+	switch sel.Sel.Name {
+	case "SetDeadline":
+		read, write = true, true
+	case "SetReadDeadline":
+		read = true
+	case "SetWriteDeadline":
+		write = true
+	default:
+		return deadlineSet{}, false
+	}
+	recv := analysis.Receiver(pass.TypesInfo, call)
+	if recv == nil || !isNetType(recv) {
+		return deadlineSet{}, false
+	}
+	return deadlineSet{pos: call.Pos(), conn: types.ExprString(sel.X), read: read, write: write}, true
+}
+
+// connIO classifies a call as conn I/O: a Read/Write method on a net
+// type, or a cross-package Read*/Write* function taking a net-typed
+// argument.
+func connIO(pass *analysis.Pass, call *ast.CallExpr) (ioCall, bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return ioCall{}, false
+	}
+	if recv := analysis.Receiver(pass.TypesInfo, call); recv != nil {
+		if !isNetType(recv) || (fn.Name() != "Read" && fn.Name() != "Write") {
+			return ioCall{}, false
+		}
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return ioCall{
+			pos:   call.Pos(),
+			conn:  types.ExprString(sel.X),
+			write: fn.Name() == "Write",
+			desc:  "conn " + fn.Name(),
+		}, true
+	}
+	read := strings.HasPrefix(fn.Name(), "Read")
+	write := strings.HasPrefix(fn.Name(), "Write")
+	if !read && !write {
+		return ioCall{}, false
+	}
+	for _, arg := range call.Args {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil || !isNetType(t) {
+			continue
+		}
+		return ioCall{
+			pos:   call.Pos(),
+			conn:  types.ExprString(ast.Unparen(arg)),
+			write: write,
+			desc:  fn.Name() + " I/O",
+		}, true
+	}
+	return ioCall{}, false
+}
+
+// isNetType reports whether t (possibly *T) is a named type from
+// package net (net.Conn, net.Listener, *net.TCPConn, ...).
+func isNetType(t types.Type) bool {
+	pkg, _ := analysis.Named(t)
+	return pkg == "net"
+}

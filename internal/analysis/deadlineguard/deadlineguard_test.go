@@ -1,0 +1,12 @@
+package deadlineguard_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/deadlineguard"
+)
+
+func TestDeadlineGuard(t *testing.T) {
+	analysistest.Run(t, deadlineguard.Analyzer)
+}

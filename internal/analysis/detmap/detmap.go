@@ -1,0 +1,215 @@
+// Package detmap guards the repo's determinism contract against Go's
+// randomized map iteration order. Seeded replay (fault scenarios, the
+// bench baseline, EXP experiment tables) and byte-stable exposition
+// (/metrics, wire snapshots, trace JSON) both break the moment a
+// `range` over a map feeds an order-sensitive sink without an
+// intervening sort.
+//
+// A map range is flagged when its body
+//
+//   - emits through fmt Print/Fprint, a Write*/Encode method, or a
+//     wire.Encoder — the bytes produced depend on iteration order; or
+//   - appends to a slice that a later return statement of the same
+//     function exposes, with no sort call between the loop and the
+//     return — the caller observes a different order each run.
+//
+// Order-insensitive bodies (counting, summing, building another map,
+// deleting) pass. Fix a finding by collecting the keys, sorting them,
+// and ranging over the sorted slice; truly order-free escapes opt out
+// with //lint:ignore detmap <reason>.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mmfs/internal/analysis"
+)
+
+// Analyzer flags map iteration whose order escapes the loop.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "flag `range` over a map whose iteration order escapes into emitted bytes " +
+		"or a returned slice without an intervening sort; determinism requires sorted keys",
+	PathPrefixes: []string{analysis.ModulePath},
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		checkRange(pass, fd, rng)
+		return true
+	})
+}
+
+func checkRange(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	var appended []string // roots of slices appended to in the body
+	reported := false
+	report := func(sink string) {
+		if !reported {
+			reported = true
+			pass.Reportf(rng.Pos(), "map iteration order escapes into %s; range over sorted keys instead (or //lint:ignore detmap if order truly cannot matter)", sink)
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isAppend(pass, call) && len(call.Args) > 0 {
+			if root := rootName(call.Args[0]); root != "" {
+				appended = append(appended, root)
+			}
+			return true
+		}
+		if sink := emissionSink(pass, call); sink != "" {
+			report(sink)
+		}
+		return true
+	})
+	if reported || len(appended) == 0 {
+		return
+	}
+	// Accumulation: nondeterministic only if a return after the loop
+	// exposes the slice and no sort call intervenes.
+	if sortedAfter(pass, fd, rng) {
+		return
+	}
+	for _, root := range appended {
+		if returnedAfter(fd, rng, root) {
+			report("the returned slice " + root)
+			return
+		}
+	}
+}
+
+// emissionSink classifies a call inside the loop body that writes
+// bytes whose order the map dictates.
+func emissionSink(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return "fmt." + fn.Name() + " output"
+	}
+	if recv := analysis.Receiver(pass.TypesInfo, call); recv != nil {
+		if pkg, typ := analysis.Named(recv); pkg == analysis.ModulePath+"/internal/wire" {
+			return "a wire encoding via " + typ + "." + fn.Name()
+		}
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return "a stream via " + fn.Name()
+		}
+	}
+	return ""
+}
+
+// isAppend reports whether call is the append built-in.
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootName renders the base identifier of an append target: x for both
+// `x` and `x.Field`.
+func rootName(e ast.Expr) string {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}
+
+// sortedAfter reports whether any sort/slices call follows the range
+// statement in the function.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if fn := analysis.Callee(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+			if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returnedAfter reports whether a return statement after the loop
+// mentions the identifier root, or the function names root as a
+// result.
+func returnedAfter(fd *ast.FuncDecl, rng *ast.RangeStmt, root string) bool {
+	if fd.Type.Results != nil {
+		for _, r := range fd.Type.Results.List {
+			for _, name := range r.Names {
+				if name.Name == root {
+					return true
+				}
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < rng.End() {
+			return true
+		}
+		for _, res := range ret.Results {
+			if rootName(res) == root {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

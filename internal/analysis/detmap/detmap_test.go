@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/detmap"
+)
+
+func TestDetMap(t *testing.T) {
+	analysistest.Run(t, detmap.Analyzer)
+}

@@ -1,0 +1,114 @@
+// Package gojoin requires every `go` statement in first-party non-test
+// code to have a visible join or shutdown path. A goroutine that
+// nothing waits for and nothing can stop is a leak: under per-spindle
+// round loops and a high-fanout HTTP edge the tree will spawn many
+// more goroutines, and each one must be drainable for graceful
+// shutdown (and for -race tests to terminate cleanly).
+//
+// A goroutine is considered joinable when its body (the function
+// literal, or the same-package function it calls) contains any of:
+//
+//   - a sync.WaitGroup Done call (including deferred) — the WaitGroup
+//     Add/Wait pair is the join;
+//   - a channel receive, a select, or a range over a channel — the
+//     done-channel / subscription shutdown idiom;
+//   - a sync.Cond Wait — a registered drain wakes it.
+//
+// Goroutines calling cross-package functions the analyzer cannot see
+// into are flagged; wrap them in a literal that signals completion, or
+// opt out with //lint:ignore gojoin <reason> where the lifetime is
+// genuinely process-long.
+package gojoin
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mmfs/internal/analysis"
+)
+
+// Analyzer flags go statements with no visible join/shutdown path.
+var Analyzer = &analysis.Analyzer{
+	Name: "gojoin",
+	Doc: "flag `go` statements whose goroutine has no visible join or shutdown path " +
+		"(WaitGroup Done, channel receive/select, or Cond wait in its body)",
+	PathPrefixes: []string{analysis.ModulePath},
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if body := goBody(pass, g, decls); body == nil || !joinable(pass, body) {
+				pass.Reportf(g.Pos(), "goroutine has no visible join or shutdown path; "+
+					"pair it with a WaitGroup Add/Done, give it a done channel, or //lint:ignore gojoin for a process-long worker")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goBody resolves the body the goroutine will run: the literal's, or
+// the declaration of a same-package callee. nil when the callee is out
+// of sight (cross-package or dynamic).
+func goBody(pass *analysis.Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := analysis.Callee(pass.TypesInfo, g.Call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// joinable reports whether the body contains a recognized join or
+// shutdown construct.
+func joinable(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Chan); ok {
+				found = true
+			}
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, n)
+			recv := analysis.Receiver(pass.TypesInfo, n)
+			if fn != nil && recv != nil {
+				if pkg, typ := analysis.Named(recv); pkg == "sync" &&
+					((typ == "WaitGroup" && fn.Name() == "Done") || (typ == "Cond" && fn.Name() == "Wait")) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package gojoin_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/gojoin"
+)
+
+func TestGoJoin(t *testing.T) {
+	analysistest.Run(t, gojoin.Analyzer)
+}

@@ -3,14 +3,27 @@
 // by methods that visibly acquire the named mutex. The check is a
 // syntactic over-approximation — it looks for a <recv>.<mutex>.Lock()
 // or .RLock() call anywhere in the method body, it does not prove the
-// lock is held at the access. Methods that run with the lock already
-// held opt out by ending their name in "Locked" or by documenting
-// "must hold" in their doc comment; individual accesses can be
-// suppressed with //lint:ignore lockguard.
+// lock is held at the access.
+//
+// RWMutex guarding is access-aware: a visible RLock() licenses reads
+// of the field, but writes (assignment, including through an index or
+// dereference, ++/--, or taking the address) require a visible
+// exclusive Lock(). The variant annotation
+//
+//	// guarded by <mutex> (read)
+//
+// declares a single-writer field: writes still require the exclusive
+// lock, but reads are allowed lock-free (the published-value pattern —
+// use it only where a stale read is acceptable).
+//
+// Methods that run with the lock already held opt out by ending their
+// name in "Locked" or by documenting "must hold" in their doc comment;
+// individual accesses can be suppressed with //lint:ignore lockguard.
 package lockguard
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 	"strings"
@@ -19,20 +32,27 @@ import (
 )
 
 // Analyzer flags accesses to `// guarded by mu` fields from methods
-// that do not visibly hold the mutex.
+// that do not visibly hold the mutex (exclusively, for writes).
 var Analyzer = &analysis.Analyzer{
 	Name: "lockguard",
 	Doc: "flag reads/writes of struct fields annotated `// guarded by <mutex>` " +
-		"from methods that neither lock the mutex nor declare that the caller holds it",
+		"from methods that neither lock the mutex nor declare that the caller holds it; " +
+		"writes require the exclusive lock, `(read)` fields allow lock-free reads",
 	Run: run,
 }
 
-var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+var guardedRe = regexp.MustCompile(`guarded by (\w+)(\s*\(read\))?`)
+
+// guard is one field's annotation: the guarding mutex and whether
+// lock-free reads are declared acceptable.
+type guard struct {
+	mutex    string
+	readFree bool
+}
 
 func run(pass *analysis.Pass) error {
-	// guards maps struct type name -> field name -> guarding mutex
-	// field name.
-	guards := make(map[string]map[string]string)
+	// guards maps struct type name -> field name -> annotation.
+	guards := make(map[string]map[string]guard)
 	for _, f := range pass.Files {
 		collectGuards(f, guards)
 	}
@@ -53,7 +73,7 @@ func run(pass *analysis.Pass) error {
 
 // collectGuards records `// guarded by <mutex>` annotations on struct
 // fields declared in f.
-func collectGuards(f *ast.File, guards map[string]map[string]string) {
+func collectGuards(f *ast.File, guards map[string]map[string]guard) {
 	for _, decl := range f.Decls {
 		gd, ok := decl.(*ast.GenDecl)
 		if !ok {
@@ -69,39 +89,39 @@ func collectGuards(f *ast.File, guards map[string]map[string]string) {
 				continue
 			}
 			for _, field := range st.Fields.List {
-				mutex := guardAnnotation(field)
-				if mutex == "" {
+				g, ok := guardAnnotation(field)
+				if !ok {
 					continue
 				}
 				byField := guards[ts.Name.Name]
 				if byField == nil {
-					byField = make(map[string]string)
+					byField = make(map[string]guard)
 					guards[ts.Name.Name] = byField
 				}
 				for _, name := range field.Names {
-					byField[name.Name] = mutex
+					byField[name.Name] = g
 				}
 			}
 		}
 	}
 }
 
-// guardAnnotation extracts the mutex name from a field's doc or
-// trailing comment, or "" when the field is unannotated.
-func guardAnnotation(field *ast.Field) string {
+// guardAnnotation extracts the annotation from a field's doc or
+// trailing comment.
+func guardAnnotation(field *ast.Field) (guard, bool) {
 	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
 		if cg == nil {
 			continue
 		}
 		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
-			return m[1]
+			return guard{mutex: m[1], readFree: m[2] != ""}, true
 		}
 	}
-	return ""
+	return guard{}, false
 }
 
 // checkMethod flags guarded-field accesses in one method.
-func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, guards map[string]map[string]string) {
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, guards map[string]map[string]guard) {
 	byField := guards[recvTypeName(fd)]
 	if byField == nil {
 		return
@@ -121,9 +141,9 @@ func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, guards map[string]map[st
 		return
 	}
 
-	// held collects the mutexes for which the body contains a visible
-	// <recv>.<mutex>.Lock() or .RLock() call.
-	held := make(map[string]bool)
+	// held collects, per mutex, the strongest visible acquisition in
+	// the body: "write" for <recv>.<mutex>.Lock(), "read" for RLock().
+	held := make(map[string]string)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -138,11 +158,16 @@ func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, guards map[string]map[st
 			return true
 		}
 		if id, ok := inner.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
-			held[inner.Sel.Name] = true
+			if sel.Sel.Name == "Lock" {
+				held[inner.Sel.Name] = "write"
+			} else if held[inner.Sel.Name] == "" {
+				held[inner.Sel.Name] = "read"
+			}
 		}
 		return true
 	})
 
+	written := writtenSelectors(fd.Body)
 	reported := make(map[string]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
@@ -153,19 +178,69 @@ func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, guards map[string]map[st
 		if !ok || pass.TypesInfo.Uses[id] != recv {
 			return true
 		}
-		mutex, guarded := byField[sel.Sel.Name]
-		if !guarded || held[mutex] || reported[sel.Sel.Name] {
+		g, guarded := byField[sel.Sel.Name]
+		if !guarded || reported[sel.Sel.Name] {
 			return true
 		}
 		// Only flag real field accesses, not same-named methods.
 		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() != types.FieldVal {
 			return true
 		}
-		reported[sel.Sel.Name] = true
-		pass.Reportf(sel.Pos(), "%s accesses field %s (guarded by %s) without holding %s; lock it, suffix the method name with Locked, or document that the caller must hold it",
-			fd.Name.Name, sel.Sel.Name, mutex, mutex)
+		write := written[sel]
+		switch {
+		case write && held[g.mutex] == "read":
+			reported[sel.Sel.Name] = true
+			pass.Reportf(sel.Pos(), "%s writes field %s (guarded by %s) while holding only %s.RLock; writes need the exclusive Lock",
+				fd.Name.Name, sel.Sel.Name, g.mutex, g.mutex)
+		case write && held[g.mutex] == "":
+			reported[sel.Sel.Name] = true
+			pass.Reportf(sel.Pos(), "%s writes field %s (guarded by %s) without holding %s; lock it, suffix the method name with Locked, or document that the caller must hold it",
+				fd.Name.Name, sel.Sel.Name, g.mutex, g.mutex)
+		case !write && held[g.mutex] == "" && !g.readFree:
+			reported[sel.Sel.Name] = true
+			pass.Reportf(sel.Pos(), "%s accesses field %s (guarded by %s) without holding %s; lock it, suffix the method name with Locked, or document that the caller must hold it",
+				fd.Name.Name, sel.Sel.Name, g.mutex, g.mutex)
+		}
 		return true
 	})
+}
+
+// writtenSelectors collects the selector expressions that a body
+// writes: assignment targets (looking through index and dereference),
+// ++/--, and operands of unary & (the address may be written through).
+func writtenSelectors(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	written := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		for {
+			switch v := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				written[v] = true
+				return
+			case *ast.IndexExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return written
 }
 
 // recvTypeName returns the bare type name of a method receiver,

@@ -1,0 +1,59 @@
+// Fixture for the atomicguard analyzer: one synchronization discipline
+// per field — atomic fields may not be accessed plainly nor doubly
+// guarded by a mutex annotation.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	mu    sync.Mutex
+	hits  uint64 // bumped with atomic.AddUint64
+	plain uint64
+}
+
+func (c *counters) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) badPlainRead() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere in this package`
+}
+
+func (c *counters) badPlainWrite() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere in this package`
+}
+
+func (c *counters) okAtomicRead() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counters) okPlainField() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.plain
+}
+
+func (c *counters) suppressed() uint64 {
+	//lint:ignore atomicguard fixture proves the escape hatch
+	return c.hits
+}
+
+type mixedTyped struct {
+	mu sync.Mutex
+	n  atomic.Uint64 // guarded by mu // want `field n is atomic but annotated`
+	ok atomic.Uint64
+}
+
+func (m *mixedTyped) use() uint64 { return m.n.Load() + m.ok.Load() }
+
+type mixedFn struct {
+	mu sync.Mutex
+	v  int64 // guarded by mu // want `field v is atomic but annotated`
+}
+
+func (m *mixedFn) bump() {
+	atomic.AddInt64(&m.v, 1)
+}

@@ -1,0 +1,54 @@
+// Fixture for the deadlineguard analyzer: conn I/O must be preceded by
+// a matching Set*Deadline on the same connection in the same function.
+package a
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+func badRead(conn net.Conn, buf []byte) {
+	_, _ = conn.Read(buf) // want `conn Read on conn has no preceding SetReadDeadline`
+}
+
+func badWrite(conn net.Conn, buf []byte) {
+	_, _ = conn.Write(buf) // want `conn Write on conn has no preceding SetWriteDeadline`
+}
+
+func badHelper(conn net.Conn, buf []byte) {
+	_, _ = io.ReadFull(conn, buf) // want `ReadFull I/O on conn has no preceding SetReadDeadline`
+}
+
+func badWrongSide(conn net.Conn, buf []byte) {
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_, _ = conn.Read(buf) // want `conn Read on conn has no preceding SetReadDeadline`
+}
+
+func badOtherConn(c1, c2 net.Conn, buf []byte) {
+	_ = c1.SetReadDeadline(time.Now().Add(time.Second))
+	_, _ = c2.Read(buf) // want `conn Read on c2 has no preceding SetReadDeadline`
+}
+
+func okRead(conn net.Conn, buf []byte) {
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	_, _ = conn.Read(buf)
+}
+
+func okConditionalDeadline(conn net.Conn, buf []byte, timeout time.Duration) {
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	_, _ = conn.Write(buf)
+	_, _ = conn.Read(buf)
+}
+
+func okHelper(conn net.Conn, buf []byte) {
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	_, _ = io.ReadFull(conn, buf)
+}
+
+func suppressed(conn net.Conn, buf []byte) {
+	//lint:ignore deadlineguard fixture proves the escape hatch
+	_, _ = conn.Read(buf)
+}

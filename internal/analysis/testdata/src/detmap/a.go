@@ -1,0 +1,88 @@
+// Fixture for the detmap analyzer: map iteration order must not escape
+// into emitted bytes or returned slices without a sort.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mmfs/internal/wire"
+)
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order escapes into fmt.Printf output`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badFprint(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration order escapes into fmt.Fprintln output`
+		fmt.Fprintln(w, k)
+	}
+}
+
+func badWireEncode(m map[string]uint64) []byte {
+	e := wire.NewEncoder()
+	for k, v := range m { // want `map iteration order escapes into a wire encoding via Encoder`
+		e.Str(k).U64(v)
+	}
+	return e.Bytes()
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order escapes into a stream via WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func badReturnedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order escapes into the returned slice out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func okSortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func okAggregation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func okLocalAccumulation(m map[string]int) int {
+	var tmp []int
+	for _, v := range m {
+		tmp = append(tmp, v)
+	}
+	return len(tmp)
+}
+
+func okMapToMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func suppressed(m map[string]int) {
+	//lint:ignore detmap fixture proves the escape hatch
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,84 @@
+// Fixture for the gojoin analyzer: every goroutine needs a visible
+// join (WaitGroup Done) or shutdown path (channel receive, select,
+// range over a channel).
+package a
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	wg   sync.WaitGroup
+	done chan struct{}
+	work chan int
+)
+
+func sideEffect() {}
+
+func badFireAndForget() {
+	go func() { // want `goroutine has no visible join or shutdown path`
+		sideEffect()
+	}()
+}
+
+func badCrossPackage() {
+	go fmt.Println("x") // want `goroutine has no visible join or shutdown path`
+}
+
+func okWaitGroup() {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sideEffect()
+	}()
+	wg.Wait()
+}
+
+func okDoneChannel() {
+	go func() {
+		<-done
+	}()
+}
+
+func okSelectLoop() {
+	go func() {
+		for {
+			select {
+			case <-work:
+				sideEffect()
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+func okRangeChannel() {
+	go func() {
+		for range work {
+			sideEffect()
+		}
+	}()
+}
+
+func drainingWorker() {
+	for range work {
+		sideEffect()
+	}
+}
+
+func okNamedWorker() {
+	go drainingWorker()
+}
+
+func leakyWorker() { sideEffect() }
+
+func badNamedWorker() {
+	go leakyWorker() // want `goroutine has no visible join or shutdown path`
+}
+
+func suppressed() {
+	//lint:ignore gojoin fixture proves the escape hatch
+	go sideEffect()
+}

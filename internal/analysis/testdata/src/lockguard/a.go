@@ -27,7 +27,7 @@ func (c *counter) Bad() int {
 }
 
 func (c *counter) BadWrite(v int) {
-	c.total = v // want `BadWrite accesses field total \(guarded by mu\) without holding mu`
+	c.total = v // want `BadWrite writes field total \(guarded by mu\) without holding mu`
 }
 
 // bump adds delta to the counter. The caller must hold c.mu.
@@ -61,4 +61,40 @@ func (r *rw) Get(k string) int {
 
 func (r *rw) BadLen() int {
 	return len(r.data) // want `BadLen accesses field data \(guarded by mu\) without holding mu`
+}
+
+func (r *rw) BadWriteUnderRLock(k string, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.data[k] = v // want `BadWriteUnderRLock writes field data \(guarded by mu\) while holding only mu.RLock; writes need the exclusive Lock`
+}
+
+func (r *rw) BadStore(k string, v int) {
+	r.data[k] = v // want `BadStore writes field data \(guarded by mu\) without holding mu`
+}
+
+func (r *rw) OkWrite(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.data[k] = v
+}
+
+// gen publishes epoch under mu; readers tolerate staleness, so the
+// `(read)` annotation licenses lock-free reads but not writes.
+type gen struct {
+	mu sync.Mutex
+	// guarded by mu (read)
+	epoch uint64
+}
+
+func (g *gen) OkLockFreeRead() uint64 { return g.epoch }
+
+func (g *gen) OkGuardedWrite() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.epoch++
+}
+
+func (g *gen) BadUnguardedWrite() {
+	g.epoch++ // want `BadUnguardedWrite writes field epoch \(guarded by mu\) without holding mu`
 }

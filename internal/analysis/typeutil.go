@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Named returns the defining package path and name of t's named type,
+// looking through one level of pointer. Both are "" for unnamed types;
+// the path is "" for universe types like error.
+func Named(t types.Type) (pkgPath, name string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// IsNamed reports whether t (possibly *T) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	p, n := Named(t)
+	return p == pkgPath && n == name
+}
+
+// Callee resolves the function or method a call expression statically
+// invokes, or nil for calls through function values, built-ins, and
+// type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Receiver returns the static type of the receiver of a method call,
+// or nil when call is not a method call (package-qualified functions
+// included).
+func Receiver(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	return s.Recv()
+}
+
+// IsMutex reports whether t (possibly *T) is sync.Mutex or
+// sync.RWMutex.
+func IsMutex(t types.Type) bool {
+	p, n := Named(t)
+	return p == "sync" && (n == "Mutex" || n == "RWMutex")
+}

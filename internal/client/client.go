@@ -122,6 +122,10 @@ func (c *Client) call(op wire.Op, body []byte) (*wire.Decoder, error) {
 		}
 		if c.conn != nil {
 			var d *wire.Decoder
+			// The stub is a blocking RPC client: mu serializes whole
+			// calls on the shared conn, so the round trip (bounded by
+			// RPCTimeout deadlines) must happen inside the lock.
+			//lint:ignore blockinglock mu exists to serialize entire RPCs on one conn
 			d, err = c.roundTrip(req)
 			if err == nil {
 				return d, nil
@@ -136,6 +140,10 @@ func (c *Client) call(op wire.Op, body []byte) (*wire.Decoder, error) {
 		if c.addr == "" || attempt >= c.opts.Retries || !retryable(err) {
 			return nil, err
 		}
+		// Retry backoff stays under mu for the same reason: a second
+		// caller must not interleave a request into a half-recovered
+		// connection mid-retry.
+		//lint:ignore blockinglock mu exists to serialize entire RPCs on one conn
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > c.opts.MaxBackoff {
 			backoff = c.opts.MaxBackoff

@@ -236,26 +236,37 @@ func (s Snapshot) Gauge(name string) (int64, bool) {
 	return 0, false
 }
 
-// Snapshot copies every metric.
+// sortedKeys returns m's keys in ascending order, so the caller can
+// index the map deterministically instead of ranging over it.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot copies every metric. Each family is walked in sorted key
+// order, so two snapshots of the same state are identical element for
+// element and the /metrics rendering is byte-stable.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var s Snapshot
-	for name, c := range r.counters {
-		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: r.counters[name].Value()})
 	}
-	for name, g := range r.gauges {
-		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: r.gauges[name].Value()})
 	}
-	for name, h := range r.histograms {
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
 		cum, n, sum := h.snapshot()
 		s.Histograms = append(s.Histograms, HistogramValue{
 			Name: name, Uppers: h.Uppers(), Buckets: cum, Count: n, Sum: sum,
 		})
 	}
-	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
-	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
 }
 
