@@ -4,7 +4,7 @@ GO ?= go
 # subset keeps CI latency down while still covering every mutex.
 RACE_PKGS = ./internal/server ./internal/msm ./internal/client ./internal/cache ./internal/obs ./internal/fault
 
-.PHONY: all build test race lint lint-fix-check bench bench-baseline bench-compare fuzz chaos clean
+.PHONY: all build test race lint lint-fix-check bench bench-baseline bench-compare bench-check fuzz chaos clean
 
 all: build lint test
 
@@ -33,19 +33,27 @@ lint-fix-check:
 # One pass over every benchmark (the experiment tables plus the
 # hot-path micros), archived as JSON for cross-commit diffing.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchtime=1x . | tee bench.out
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x . | tee bench.out
 	$(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json < bench.out
 
 # Refresh the committed regression baseline. Wall-clock ns/op is
 # stripped: only the deterministic simulated-disk metrics (disk busy
 # time, blocks, cache hit ratio) are stable across machines.
 bench-baseline:
-	$(GO) test -run '^$$' -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -strip-wallclock -out bench/baseline.json
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson -strip-wallclock -out bench/baseline.json
 
 # Gate the working tree against the committed baseline (what CI runs).
 bench-compare:
-	$(GO) test -run '^$$' -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/current.json
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/current.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.15 bench/baseline.json bench/current.json
+
+# Allocation-regression gate: the steady-state service round
+# (BenchmarkPlaybackRound/steady) must hold its baseline allocs/op —
+# zero — and the full-playback variant must not grow its allocation
+# count past tolerance. Fast enough to run on every push.
+bench-check:
+	$(GO) test -run '^$$' -bench=BenchmarkPlaybackRound -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/allocs.json
+	$(GO) run ./cmd/benchjson -compare -subset BenchmarkPlaybackRound bench/baseline.json bench/allocs.json
 
 # Short fuzz pass over the wire codec and the fault-scenario parser;
 # lengthen -fuzztime locally.

@@ -296,44 +296,84 @@ func BenchmarkRopePlanCompile(b *testing.B) {
 	}
 }
 
-// BenchmarkPlaybackRound measures one full 10-second playback
-// simulation (admission + service rounds + deadline accounting) and
-// reports the simulated disk work per play, so cache wins elsewhere
-// in the suite have a disk-bound baseline to compare against.
+// BenchmarkPlaybackRound measures the service-round loop two ways.
+// The full variant is one complete 10-second playback simulation per
+// op (admission + service rounds + deadline accounting), reporting the
+// simulated disk work per play so cache wins elsewhere in the suite
+// have a disk-bound baseline. The steady variant times single service
+// rounds on a warmed manager — admission, plan compilation, and
+// re-admission all happen off the clock — and its allocs/op must be
+// zero: that is the real-time path discipline the allocpath analyzer
+// enforces statically, verified dynamically and gated in CI.
 func BenchmarkPlaybackRound(b *testing.B) {
-	fs, r := benchFS(b)
-	before := fs.Disk().Stats()
-	snap0 := fs.Metrics().Snapshot()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mgr := fs.NewManager()
-		plan, err := fs.Ropes().CompilePlay(fs.Disk(), r, rope.VideoOnly, 0, r.Length(), msm.PlanOptions{ReadAhead: 2})
-		if err != nil {
-			b.Fatal(err)
+	b.Run("full", func(b *testing.B) {
+		fs, r := benchFS(b)
+		before := fs.Disk().Stats()
+		snap0 := fs.Metrics().Snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mgr := fs.NewManager()
+			plan, err := fs.Ropes().CompilePlay(fs.Disk(), r, rope.VideoOnly, 0, r.Length(), msm.PlanOptions{ReadAhead: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			id, _, err := mgr.AdmitPlay(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mgr.RunUntilDone()
+			if v, _ := mgr.Violations(id); len(v) != 0 {
+				b.Fatal("violations in benchmark playback")
+			}
 		}
-		id, _, err := mgr.AdmitPlay(plan)
-		if err != nil {
-			b.Fatal(err)
+		b.StopTimer()
+		after := fs.Disk().Stats()
+		b.ReportMetric(float64((after.BusyTime()-before.BusyTime()).Milliseconds())/float64(b.N), "disk_busy_ms/op")
+		b.ReportMetric(float64(after.Reads-before.Reads)/float64(b.N), "disk_blocks/op")
+		// The same work as seen by the observability registry: obs-sourced
+		// values must track the raw disk stats, and archiving both lets the
+		// CI compare catch a divergence between the two accountings.
+		snap1 := fs.Metrics().Snapshot()
+		r0, _ := snap0.Counter("mmfs_rounds_total")
+		r1, _ := snap1.Counter("mmfs_rounds_total")
+		b.ReportMetric(float64(r1-r0)/float64(b.N), "rounds/op")
+		b0, _ := snap0.Counter("mmfs_disk_busy_ns_total")
+		b1, _ := snap1.Counter("mmfs_disk_busy_ns_total")
+		b.ReportMetric(float64(b1-b0)/1e6/float64(b.N), "obs_disk_busy_ms/op")
+	})
+	b.Run("steady", func(b *testing.B) {
+		fs, r := benchFS(b)
+		admit := func(b *testing.B) *msm.Manager {
+			mgr := fs.NewManager()
+			plan, err := fs.Ropes().CompilePlay(fs.Disk(), r, rope.VideoOnly, 0, r.Length(), msm.PlanOptions{ReadAhead: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := mgr.AdmitPlay(plan); err != nil {
+				b.Fatal(err)
+			}
+			// Warm the scratch arenas (block buffer, round scratch,
+			// trace ring) so the measured rounds run at steady state.
+			for i := 0; i < 4; i++ {
+				if !mgr.RunRound() {
+					b.Fatal("playback drained during warm-up")
+				}
+			}
+			return mgr
 		}
-		mgr.RunUntilDone()
-		if v, _ := mgr.Violations(id); len(v) != 0 {
-			b.Fatal("violations in benchmark playback")
+		mgr := admit(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !mgr.RunRound() {
+				// The play drained: re-admit off the clock.
+				b.StopTimer()
+				mgr = admit(b)
+				b.StartTimer()
+			}
 		}
-	}
-	b.StopTimer()
-	after := fs.Disk().Stats()
-	b.ReportMetric(float64((after.BusyTime()-before.BusyTime()).Milliseconds())/float64(b.N), "disk_busy_ms/op")
-	b.ReportMetric(float64(after.Reads-before.Reads)/float64(b.N), "disk_blocks/op")
-	// The same work as seen by the observability registry: obs-sourced
-	// values must track the raw disk stats, and archiving both lets the
-	// CI compare catch a divergence between the two accountings.
-	snap1 := fs.Metrics().Snapshot()
-	r0, _ := snap0.Counter("mmfs_rounds_total")
-	r1, _ := snap1.Counter("mmfs_rounds_total")
-	b.ReportMetric(float64(r1-r0)/float64(b.N), "rounds/op")
-	b0, _ := snap0.Counter("mmfs_disk_busy_ns_total")
-	b1, _ := snap1.Counter("mmfs_disk_busy_ns_total")
-	b.ReportMetric(float64(b1-b0)/1e6/float64(b.N), "obs_disk_busy_ms/op")
+	})
 }
 
 // BenchmarkCachedConcurrentPlayback plays one rope four times at once

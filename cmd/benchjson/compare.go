@@ -18,7 +18,7 @@ import (
 // tolerance is a regression; higherBetter selects metrics where a
 // decrease is.
 var (
-	lowerBetterPrefixes = []string{"disk_busy", "disk_blocks"}
+	lowerBetterPrefixes = []string{"disk_busy", "disk_blocks", "allocs/op"}
 	higherBetter        = map[string]bool{"cache_hit_pct": true, "n_admitted": true}
 )
 
@@ -47,8 +47,11 @@ func lowerBetter(metric string) bool {
 // compareReports diffs cur against base and returns one line per
 // regression beyond the tolerance (0.15 = 15%). A benchmark missing
 // from cur is a regression (coverage lost); one missing from base is
-// ignored (new benchmarks cannot regress).
-func compareReports(base, cur Report, tol float64) []string {
+// ignored (new benchmarks cannot regress). A non-empty subset
+// restricts the gate to benchmarks whose name starts with it (and
+// skips the cross-suite summary), so a fast CI job can gate one
+// benchmark family against the full committed baseline.
+func compareReports(base, cur Report, tol float64, subset string) []string {
 	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
 		curBy[b.Name] = b
@@ -69,6 +72,9 @@ func compareReports(base, cur Report, tol float64) []string {
 		}
 	}
 	for _, bb := range base.Benchmarks {
+		if subset != "" && !strings.HasPrefix(bb.Name, subset) {
+			continue
+		}
 		cb, ok := curBy[bb.Name]
 		if !ok {
 			regs = append(regs, fmt.Sprintf("%s: missing from new report", bb.Name))
@@ -104,7 +110,7 @@ func compareReports(base, cur Report, tol float64) []string {
 			}
 		}
 	}
-	if base.Summary != nil && cur.Summary != nil {
+	if subset == "" && base.Summary != nil && cur.Summary != nil {
 		worse("summary", "disk_busy_ms", base.Summary.DiskBusyMs, cur.Summary.DiskBusyMs)
 		worse("summary", "disk_blocks", base.Summary.DiskBlocks, cur.Summary.DiskBlocks)
 		if b, c := base.Summary.CacheHitPct, cur.Summary.CacheHitPct; b > 0 && c < b*(1-tol) {

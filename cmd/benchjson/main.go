@@ -49,6 +49,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two report files (baseline new) instead of reading bench output")
 	tolerance := flag.Float64("tolerance", 0.15, "relative regression tolerance for -compare")
 	stripWallclock := flag.Bool("strip-wallclock", false, "omit ns/op from the written report (for committed baselines: wall clock is not comparable across runners, the simulated-disk metrics are)")
+	subset := flag.String("subset", "", "with -compare, gate only benchmarks whose name has this prefix")
 	flag.Parse()
 
 	if *compare {
@@ -66,7 +67,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		regs := compareReports(base, cur, *tolerance)
+		regs := compareReports(base, cur, *tolerance, *subset)
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", r)

@@ -1,0 +1,68 @@
+package alloc
+
+// Scratch helpers: the sanctioned way for rt:hotpath code (see
+// DESIGN.md "Real-time path discipline") to grow or refill reusable
+// buffers. The allocpath analyzer treats calls into this package as
+// escapes from its no-allocation rule — the contract being that every
+// helper here reuses the caller's backing array when capacity allows,
+// so a steady-state service round settles to zero allocations after
+// its first few laps warm the scratch slices up to capacity.
+
+// Append appends one element, reusing s's backing array when it has
+// room. It takes a single value rather than being variadic: a variadic
+// signature would materialize an argument slice at every call site,
+// which is exactly the garbage this package exists to avoid.
+func Append[T any](s []T, v T) []T {
+	if len(s) < cap(s) {
+		s = s[:len(s)+1]
+		s[len(s)-1] = v
+		return s
+	}
+	//lint:ignore allocpath scratch arena growth: amortized to zero once warm
+	return append(s, v)
+}
+
+// Grow returns a slice of length n, reusing s's backing array when
+// cap(s) >= n. Contents are unspecified; use Zeroed when the caller
+// needs cleared elements.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	//lint:ignore allocpath scratch arena growth: amortized to zero once warm
+	return make([]T, n)
+}
+
+// Zeroed returns a slice of length n with every element set to the
+// zero value, reusing s's backing array when capacity allows.
+func Zeroed[T any](s []T, n int) []T {
+	s = Grow(s, n)
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// AppendBytes appends src to dst, reusing dst's backing array when it
+// has room. It is the hot-path replacement for growing variadic
+// append(dst, src...) spreads.
+func AppendBytes(dst, src []byte) []byte {
+	if len(dst)+len(src) <= cap(dst) {
+		n := len(dst)
+		dst = dst[:n+len(src)]
+		copy(dst[n:], src)
+		return dst
+	}
+	//lint:ignore allocpath scratch arena growth: amortized to zero once warm
+	return append(dst, src...)
+}
+
+// CopyBytes copies src into dst's backing array (growing it only when
+// needed) and returns the filled slice. It is the hot-path replacement
+// for append([]byte(nil), src...)-style defensive copies.
+func CopyBytes(dst, src []byte) []byte {
+	dst = Grow(dst, len(src))
+	copy(dst, src)
+	return dst
+}

@@ -7,8 +7,10 @@ package all
 
 import (
 	"mmfs/internal/analysis"
+	"mmfs/internal/analysis/allocpath"
 	"mmfs/internal/analysis/atomicguard"
 	"mmfs/internal/analysis/blockinglock"
+	"mmfs/internal/analysis/boundedwork"
 	"mmfs/internal/analysis/deadlineguard"
 	"mmfs/internal/analysis/detmap"
 	"mmfs/internal/analysis/gojoin"
@@ -21,7 +23,8 @@ import (
 
 // Analyzers returns the full suite in reporting order: the model and
 // protocol invariants first (PR 1), then the concurrency & determinism
-// suite guarding the multi-spindle work.
+// suite guarding the multi-spindle work, then the interprocedural
+// real-time path suite (allocpath, boundedwork).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		unitsafety.Analyzer,
@@ -34,5 +37,7 @@ func Analyzers() []*analysis.Analyzer {
 		atomicguard.Analyzer,
 		detmap.Analyzer,
 		deadlineguard.Analyzer,
+		allocpath.Analyzer,
+		boundedwork.Analyzer,
 	}
 }

@@ -1,6 +1,8 @@
 package all_test
 
 import (
+	"bytes"
+	"encoding/gob"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,8 +16,8 @@ import (
 // file under internal/analysis/testdata/src/<name>/.
 func TestRegistry(t *testing.T) {
 	analyzers := all.Analyzers()
-	if len(analyzers) < 10 {
-		t.Fatalf("expected the full suite (>=10 analyzers), got %d", len(analyzers))
+	if len(analyzers) < 12 {
+		t.Fatalf("expected the full suite (>=12 analyzers), got %d", len(analyzers))
 	}
 	seen := make(map[string]bool)
 	for _, a := range analyzers {
@@ -48,6 +50,37 @@ func TestRegistry(t *testing.T) {
 		if fixtures == 0 {
 			t.Errorf("analyzer %s has no .go fixtures under %s", a.Name, dir)
 		}
+	}
+}
+
+// TestFactTypes asserts the interprocedural analyzers declare their
+// fact prototypes and that every declared fact type survives a gob
+// round trip — the encodability contract ExportFact enforces at run
+// time, checked here before any pass runs.
+func TestFactTypes(t *testing.T) {
+	mustExport := map[string]bool{
+		"blockinglock": true,
+		"allocpath":    true,
+		"boundedwork":  true,
+	}
+	for _, a := range all.Analyzers() {
+		if mustExport[a.Name] && len(a.FactTypes) == 0 {
+			t.Errorf("analyzer %s exports facts but declares no FactTypes", a.Name)
+		}
+		delete(mustExport, a.Name)
+		for _, f := range a.FactTypes {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+				t.Errorf("analyzer %s fact %T does not gob-encode: %v", a.Name, f, err)
+				continue
+			}
+			if err := gob.NewDecoder(&buf).Decode(f); err != nil {
+				t.Errorf("analyzer %s fact %T does not gob-decode: %v", a.Name, f, err)
+			}
+		}
+	}
+	for name := range mustExport {
+		t.Errorf("fact-exporting analyzer %s is not registered", name)
 	}
 }
 

@@ -1,0 +1,182 @@
+// Package allocpath enforces the paper's real-time service contract
+// at the allocation level: no heap allocation may be reachable from a
+// `// rt:hotpath` function. The continuity guarantee (Eq. 18) bounds a
+// round by disk service time; an allocation on that path invites GC
+// pauses the admission math never accounted for.
+//
+// Each function gets a may-allocate summary seeded by intrinsic
+// allocation sites — make/new, growing append, slice/map literals,
+// &T{} composite pointers, closure creation, string concatenation and
+// string<->[]byte conversions, interface boxing conversions, and any
+// call into fmt or reflect (except under panic, a death path) — and
+// closed over its calls: same-package callees by fixpoint, imported
+// first-party callees through exported PathFacts, and interface calls
+// through the join of the implementations loaded before the caller
+// (disk.Device sees both *disk.Disk and *fault.Disk). A site
+// transitively reachable from a hot-path root is reported at the
+// allocating statement, with the call chain that reaches it.
+//
+// Escapes: calls into the internal/alloc scratch arena are sanctioned
+// and never traversed, and a site can carry a reasoned
+// //lint:ignore allocpath. Stdlib calls other than fmt/reflect are
+// assumed allocation-free; the hot path must not lean on allocating
+// stdlib helpers.
+package allocpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mmfs/internal/analysis"
+)
+
+// Analyzer reports heap allocations reachable from rt:hotpath roots.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocpath",
+	Doc: "flag heap allocations (make/new, growing append, literals, boxing, closures, " +
+		"string concat, fmt/reflect) transitively reachable from // rt:hotpath roots",
+	FactTypes: []analysis.Fact{&analysis.PathFact{}},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	return analysis.RunPath(pass, analysis.PathConfig{
+		Seeds:    seeds,
+		SkipCall: sanctioned,
+		Advice:   "move it onto the internal/alloc scratch helpers, or //lint:ignore allocpath with the design reason",
+	})
+}
+
+// sanctioned exempts the scratch arena: internal/alloc exists to give
+// the hot path reusable buffers, so calls into it are the approved way
+// off this analyzer's radar.
+func sanctioned(pass *analysis.Pass, call *ast.CallExpr, callee *types.Func) bool {
+	return callee.Pkg() != nil && callee.Pkg().Path() == analysis.ModulePath+"/internal/alloc"
+}
+
+// seeds collects the intrinsic allocation sites of one function body.
+func seeds(pass *analysis.Pass, fd *ast.FuncDecl) []analysis.Site {
+	info := pass.TypesInfo
+	deathPath := panicArgCalls(info, fd.Body)
+	var sites []analysis.Site
+	add := func(pos token.Pos, what string) {
+		sites = append(sites, analysis.Site{Pos: pos, What: what})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			add(n.Pos(), "closure creation")
+			return false
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					add(n.Pos(), "slice literal")
+				case *types.Map:
+					add(n.Pos(), "map literal")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					add(n.Pos(), "heap-allocated &T{} literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[ast.Expr(n)]; ok && tv.Value == nil && isString(tv.Type) {
+					add(n.Pos(), "string concatenation")
+				}
+			}
+		case *ast.CallExpr:
+			seedCall(info, n, deathPath, add)
+		}
+		return true
+	})
+	return sites
+}
+
+// seedCall classifies one call expression: allocating builtins,
+// allocating conversions, and calls into fmt/reflect.
+func seedCall(info *types.Info, call *ast.CallExpr, deathPath map[token.Pos]bool, add func(token.Pos, string)) {
+	switch {
+	case analysis.IsBuiltin(info, call, "make"):
+		add(call.Pos(), "make")
+	case analysis.IsBuiltin(info, call, "new"):
+		add(call.Pos(), "new")
+	case analysis.IsBuiltin(info, call, "append"):
+		add(call.Pos(), "growing append")
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.TypeOf(call.Args[0])
+		switch {
+		case from == nil:
+		case stringSliceConv(from, to):
+			add(call.Pos(), "string conversion")
+		case boxingConv(from, to):
+			add(call.Pos(), "interface boxing")
+		}
+		return
+	}
+	if fn := analysis.Callee(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "reflect":
+			if !deathPath[call.Pos()] {
+				add(call.Pos(), "call into "+fn.Pkg().Path())
+			}
+		}
+	}
+}
+
+// panicArgCalls records the calls appearing inside panic(...)
+// arguments: a panic is the end of the real-time world anyway, so the
+// customary panic(fmt.Sprintf(...)) idiom is not hot-path noise.
+func panicArgCalls(info *types.Info, body *ast.BlockStmt) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !analysis.IsBuiltin(info, call, "panic") {
+			return true
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					out[c.Pos()] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringSliceConv reports a string<->[]byte/[]rune conversion, which
+// copies its operand into a fresh backing array.
+func stringSliceConv(from, to types.Type) bool {
+	_, fromSlice := from.Underlying().(*types.Slice)
+	_, toSlice := to.Underlying().(*types.Slice)
+	return (isString(from) && toSlice) || (fromSlice && isString(to))
+}
+
+// boxingConv reports an explicit conversion of a non-pointer-shaped
+// concrete value to an interface type, which heap-allocates the boxed
+// copy. Pointer-shaped values (pointers, channels, maps, funcs) fit in
+// the interface word directly.
+func boxingConv(from, to types.Type) bool {
+	if !types.IsInterface(to) || types.IsInterface(from) {
+		return false
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}

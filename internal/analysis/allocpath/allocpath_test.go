@@ -1,0 +1,12 @@
+package allocpath_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/allocpath"
+	"mmfs/internal/analysis/analysistest"
+)
+
+func TestAllocPath(t *testing.T) {
+	analysistest.Run(t, allocpath.Analyzer)
+}

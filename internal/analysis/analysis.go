@@ -38,6 +38,10 @@ type Analyzer struct {
 	// the analyzer to (matched as import-path prefixes at path-segment
 	// granularity). Empty means every package. Tests bypass it.
 	PathPrefixes []string
+	// FactTypes declares one prototype per fact type the analyzer may
+	// export. An analyzer that calls ExportFact must list its fact
+	// types here (the registry self-test enforces gob-encodability).
+	FactTypes []Fact
 	// Run performs the check, reporting findings through the pass.
 	Run func(*Pass) error
 }
@@ -69,6 +73,7 @@ type Pass struct {
 	// TypesInfo records types and objects for every expression.
 	TypesInfo *types.Info
 
+	facts       *FactStore
 	diagnostics []Diagnostic
 }
 
@@ -94,34 +99,59 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Diagnostics returns the findings recorded so far, in report order.
 func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
 
-// Run executes one analyzer over a loaded package and returns its
-// findings with //lint:ignore suppressions already applied.
-func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// RunPass executes one analyzer over one package against a shared
+// fact store and returns the raw findings, without suppression.
+// Callers that span packages (RunAll, analysistest) apply Suppress
+// once over every loaded file, so a //lint:ignore next to a site in a
+// dependency package also covers diagnostics that importing packages'
+// passes anchor there.
+func RunPass(a *Analyzer, pkg *Package, store *FactStore) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		facts:     store,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
-	return Suppress(pkg.Fset, pkg.Files, pass.diagnostics), nil
+	return pass.diagnostics, nil
 }
 
-// RunAll executes every applicable analyzer over every package and
-// returns the surviving findings sorted by position.
+// Run executes one analyzer over a loaded package in isolation (fresh
+// fact store) and returns its findings with //lint:ignore suppressions
+// already applied.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	diags, err := RunPass(a, pkg, NewFactStore())
+	if err != nil {
+		return nil, err
+	}
+	return Suppress(pkg.Fset, pkg.Files, diags), nil
+}
+
+// RunAll executes every applicable analyzer over every package in
+// dependency order — so facts exported by a package are visible to
+// the packages importing it — and returns the surviving findings
+// sorted by position. Suppression is applied globally: an interprocedural
+// diagnostic anchored in a dependency's file is covered by the
+// //lint:ignore directive in that file, whichever package's pass
+// reported it.
 func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	ordered := dependencyOrder(pkgs)
+	store := NewFactStore()
 	var all []Diagnostic
 	var fset *token.FileSet
-	for _, pkg := range pkgs {
+	var files []*ast.File
+	for _, pkg := range ordered {
 		fset = pkg.Fset
+		files = append(files, pkg.Files...)
 		for _, a := range analyzers {
 			if !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			diags, err := Run(a, pkg)
+			diags, err := RunPass(a, pkg, store)
 			if err != nil {
 				return nil, err
 			}
@@ -129,6 +159,7 @@ func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		}
 	}
 	if fset != nil {
+		all = Suppress(fset, files, all)
 		sort.SliceStable(all, func(i, j int) bool {
 			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
 			if pi.Filename != pj.Filename {
@@ -139,8 +170,60 @@ func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 			}
 			return all[i].Analyzer < all[j].Analyzer
 		})
+		// Interprocedural analyzers can reach one site from roots in
+		// several packages; one diagnostic per (analyzer, site) is
+		// enough for a human or CI.
+		type siteKey struct {
+			analyzer string
+			pos      token.Pos
+		}
+		dedup := all[:0]
+		seen := make(map[siteKey]bool, len(all))
+		for _, d := range all {
+			k := siteKey{d.Analyzer, d.Pos}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dedup = append(dedup, d)
+		}
+		all = dedup
 	}
 	return all, nil
+}
+
+// dependencyOrder sorts packages topologically: every package after
+// the first-party packages it imports, ties broken by import path so
+// the order is deterministic. Fact exports rely on this.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(pkgs))
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		p := byPath[path]
+		if p == nil || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		imps := append([]string(nil), p.Imports...)
+		sort.Strings(imps)
+		for _, imp := range imps {
+			visit(imp)
+		}
+		state[path] = 2
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
 }
 
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)`)

@@ -8,6 +8,14 @@
 // Every diagnostic must match a want on its line and every want must
 // be matched by a diagnostic; //lint:ignore suppression is applied
 // before matching, so fixtures can also prove the escape hatch works.
+//
+// A fixture directory may contain one level of subdirectories; each is
+// type-checked first as a dependency package with the module-rooted
+// import path mmfs/fixture/<analyzer>/<subdir>, analyzed against the
+// same shared fact store, and made importable by the root fixture.
+// That exercises cross-package fact propagation exactly as RunAll's
+// dependency-ordered sweep does, with // want comments and
+// //lint:ignore directives honored across every fixture file.
 package analysistest
 
 import (
@@ -17,6 +25,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -50,10 +59,16 @@ func sharedResolver() (*analysis.Resolver, error) {
 	return resolver, resolverErr
 }
 
-// Run loads testdata/src/<analyzer name> as one fixture package, runs
-// the analyzer, and matches findings against the // want comments.
-// testdata is resolved relative to the calling test's directory, i.e.
-// internal/analysis/<name>/../testdata.
+// fixturePathPrefix roots fixture import paths inside the module path,
+// so analyzers treating "first-party" specially (fact propagation)
+// see fixture dependency packages as in-module.
+const fixturePathPrefix = analysis.ModulePath + "/fixture/"
+
+// Run loads testdata/src/<analyzer name> as a fixture package (plus
+// one level of dependency subpackages), runs the analyzer over each in
+// dependency order with a shared fact store, and matches findings
+// against the // want comments. testdata is resolved relative to the
+// calling test's directory, i.e. internal/analysis/<name>/../testdata.
 func Run(t *testing.T, a *analysis.Analyzer) {
 	t.Helper()
 	r, err := sharedResolver()
@@ -61,6 +76,71 @@ func Run(t *testing.T, a *analysis.Analyzer) {
 		t.Fatalf("loading export data: %v", err)
 	}
 	dir := filepath.Join("..", "testdata", "src", a.Name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixtures: %v", err)
+	}
+
+	store := analysis.NewFactStore()
+	var allFiles []*ast.File
+	var allDiags []analysis.Diagnostic
+	check := func(pkgDir, importPath string) {
+		t.Helper()
+		files := parseFixtureDir(t, r, pkgDir)
+		pkg, info, err := r.Check(importPath, files)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", importPath, err)
+		}
+		r.AddSourcePackage(pkg)
+		diags, err := analysis.RunPass(a, &analysis.Package{
+			Path:      pkg.Path(),
+			Dir:       pkgDir,
+			Fset:      r.Fset(),
+			Files:     files,
+			Types:     pkg,
+			TypesInfo: info,
+		}, store)
+		if err != nil {
+			t.Fatalf("running %s over %s: %v", a.Name, importPath, err)
+		}
+		allFiles = append(allFiles, files...)
+		allDiags = append(allDiags, diags...)
+	}
+
+	var subdirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			subdirs = append(subdirs, e.Name())
+		}
+	}
+	sort.Strings(subdirs)
+	for _, sub := range subdirs {
+		check(filepath.Join(dir, sub), fixturePathPrefix+a.Name+"/"+sub)
+	}
+	check(dir, fixturePathPrefix+a.Name)
+
+	diags := analysis.Suppress(r.Fset(), allFiles, allDiags)
+	wants := collectWants(t, allFiles, r)
+	for _, d := range diags {
+		pos := r.Fset().Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected finding: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// parseFixtureDir parses the .go files directly inside dir (fatal when
+// there are none).
+func parseFixtureDir(t *testing.T, r *analysis.Resolver, dir string) []*ast.File {
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("reading fixtures: %v", err)
@@ -79,37 +159,7 @@ func Run(t *testing.T, a *analysis.Analyzer) {
 	if len(files) == 0 {
 		t.Fatalf("no fixtures under %s", dir)
 	}
-	pkg, info, err := r.Check("mmfsvet/fixture/"+a.Name, files)
-	if err != nil {
-		t.Fatalf("type-checking fixtures: %v", err)
-	}
-	diags, err := analysis.Run(a, &analysis.Package{
-		Path:      pkg.Path(),
-		Dir:       dir,
-		Fset:      r.Fset(),
-		Files:     files,
-		Types:     pkg,
-		TypesInfo: info,
-	})
-	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
-	}
-
-	wants := collectWants(t, files, r)
-	for _, d := range diags {
-		pos := r.Fset().Position(d.Pos)
-		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-		if !consumeWant(wants[key], d.Message) {
-			t.Errorf("%s: unexpected finding: %s", key, d.Message)
-		}
-	}
-	for key, ws := range wants {
-		for _, w := range ws {
-			if !w.matched {
-				t.Errorf("%s: expected finding matching %q, got none", key, w.re)
-			}
-		}
-	}
+	return files
 }
 
 // want is one expected-diagnostic pattern.

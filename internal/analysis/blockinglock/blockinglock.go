@@ -44,8 +44,18 @@ var Analyzer = &analysis.Analyzer{
 		analysis.ModulePath + "/internal",
 		analysis.ModulePath + "/cmd",
 	},
-	Run: run,
+	FactTypes: []analysis.Fact{&BlockFact{}},
+	Run:       run,
 }
+
+// BlockFact is the exported may-block summary of one function: the
+// leaf reason its call tree can block. Importing packages charge a
+// call to the function with this reason, so msm's critical sections
+// see through disk/fault/cache boundaries.
+type BlockFact struct{ Reason string }
+
+// AFact marks BlockFact as an exportable fact.
+func (*BlockFact) AFact() {}
 
 func run(pass *analysis.Pass) error {
 	decls := make(map[*types.Func]*ast.FuncDecl)
@@ -75,6 +85,13 @@ func run(pass *analysis.Pass) error {
 				changed = true
 			}
 		}
+	}
+
+	// Publish the summaries so importing packages can charge calls to
+	// these functions with the underlying reason (msm holding its lock
+	// across a cache or fault-disk call, for example).
+	for fn, reason := range blocks {
+		pass.ExportFact(fn, &BlockFact{Reason: reason})
 	}
 
 	for _, fd := range decls {
@@ -207,6 +224,14 @@ func callBlockReason(pass *analysis.Pass, call *ast.CallExpr, blocks map[*types.
 		}
 	case hasNetArg(pass, call) && blockingFuncName(name):
 		return fmt.Sprintf("net I/O via %s.%s", fn.Pkg().Name(), name)
+	case analysis.FirstParty(fn.Pkg().Path()):
+		// Cross-package: a may-block fact exported by the callee's own
+		// pass (packages are analyzed in dependency order).
+		if f, ok := pass.ImportFact(fn); ok {
+			if bf, ok := f.(*BlockFact); ok && bf.Reason != "" {
+				return fmt.Sprintf("call to %s.%s, which may block (%s)", fn.Pkg().Name(), name, bf.Reason)
+			}
+		}
 	}
 	return ""
 }
@@ -220,34 +245,16 @@ func isTimedDeviceCall(pass *analysis.Pass, recv types.Type, name string) bool {
 	default:
 		return false
 	}
-	dev := deviceInterface(pass.Pkg)
+	dev := analysis.ImportedInterface(pass.Pkg, analysis.ModulePath+"/internal/disk", "Device")
 	return dev != nil && types.Implements(recv, dev)
-}
-
-// deviceInterface finds disk.Device among the package's imports, or
-// nil when the package cannot name it.
-func deviceInterface(pkg *types.Package) *types.Interface {
-	for _, imp := range pkg.Imports() {
-		if imp.Path() != analysis.ModulePath+"/internal/disk" {
-			continue
-		}
-		if tn, ok := imp.Scope().Lookup("Device").(*types.TypeName); ok {
-			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
-				return iface
-			}
-		}
-	}
-	return nil
 }
 
 // hasNetArg reports whether any argument's static type comes from
 // package net (net.Conn, net.Listener, concrete conns).
 func hasNetArg(pass *analysis.Pass, call *ast.CallExpr) bool {
 	for _, arg := range call.Args {
-		if t := pass.TypesInfo.TypeOf(arg); t != nil {
-			if pkg, _ := analysis.Named(t); pkg == "net" {
-				return true
-			}
+		if t := pass.TypesInfo.TypeOf(arg); t != nil && analysis.IsFromPackage(t, "net") {
+			return true
 		}
 	}
 	return false

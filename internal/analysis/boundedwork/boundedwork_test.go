@@ -1,0 +1,12 @@
+package boundedwork_test
+
+import (
+	"testing"
+
+	"mmfs/internal/analysis/analysistest"
+	"mmfs/internal/analysis/boundedwork"
+)
+
+func TestBoundedWork(t *testing.T) {
+	analysistest.Run(t, boundedwork.Analyzer)
+}

@@ -1,0 +1,399 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared interprocedural layer under the real-time
+// path analyzers (allocpath, boundedwork). A function's summary is a
+// PathFact: the set of offending sites (allocations, unbounded loops)
+// reachable from its body, each carrying the call chain that reaches
+// it. Summaries propagate through same-package calls to a fixpoint and
+// across package boundaries as exported Facts, so an allocation buried
+// in internal/strand is still charged to the msm round loop that can
+// reach it.
+//
+// Roots are declared in source with a doc-comment directive line:
+//
+//	// rt:hotpath
+//
+// A root's accumulated sites are reported; a call to a function that
+// is itself a root is not descended into (nearest-root attribution:
+// every site is reported exactly once, from its closest enclosing
+// root). Sites are reported at the offending statement, so the
+// //lint:ignore escape hatch is applied where the allocation lives,
+// next to the reasoning for it.
+
+// Site is one offending program point in a function's may-reach
+// summary: an allocation or a potentially unbounded loop, plus the
+// call chain from the summarized function down to it.
+type Site struct {
+	// Pos locates the offending expression or statement.
+	Pos token.Pos
+	// What names the construct ("make", "range over map", ...).
+	What string
+	// Chain lists function display names from the summarized function
+	// (first element) down to the one containing the site (last).
+	Chain []string
+}
+
+// PathFact is the exported per-function summary shared by the path
+// analyzers. Root marks rt:hotpath functions so importing packages
+// apply nearest-root attribution instead of double-reporting.
+type PathFact struct {
+	Root  bool
+	Sites []Site
+}
+
+// AFact marks PathFact as an exportable fact.
+func (*PathFact) AFact() {}
+
+// maxPathSites caps one function's summary. The cap exists to bound
+// the fixpoint on pathological fan-out; a hot-path function anywhere
+// near it has bigger problems than a truncated report.
+const maxPathSites = 48
+
+// DeclFunc pairs a parsed function declaration with its type object.
+type DeclFunc struct {
+	Decl *ast.FuncDecl
+	Fn   *types.Func
+}
+
+// SourceFuncs returns the package's function declarations that have
+// bodies, in source order (file order, then declaration order), so
+// fixpoints and reports are deterministic.
+func SourceFuncs(pass *Pass) []DeclFunc {
+	var out []DeclFunc
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out = append(out, DeclFunc{Decl: fd, Fn: fn})
+		}
+	}
+	return out
+}
+
+// IsHotPathRoot reports whether the declaration carries a
+// `// rt:hotpath` doc-comment directive line.
+func IsHotPathRoot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "rt:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDisplay renders a function for call-chain messages: Type.Name
+// for methods, pkg.Name for package functions.
+func FuncDisplay(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, name := Named(sig.Recv().Type()); name != "" {
+			return name + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// FirstParty reports whether the import path belongs to this module.
+func FirstParty(path string) bool {
+	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+}
+
+// PathConfig parameterizes the shared reachability engine for one path
+// analyzer.
+type PathConfig struct {
+	// Seeds returns the intrinsic offending sites of one function body
+	// (Chain is filled in by the engine).
+	Seeds func(pass *Pass, fd *ast.FuncDecl) []Site
+	// SkipCall, if non-nil, exempts a call edge from traversal
+	// (sanctioned escapes such as the internal/alloc scratch arena).
+	SkipCall func(pass *Pass, call *ast.CallExpr, callee *types.Func) bool
+	// RootCycleWhat, when non-empty, additionally reports same-package
+	// call-graph cycles that re-enter a hot-path root, at the call
+	// that closes the cycle.
+	RootCycleWhat string
+	// Advice closes every diagnostic with the repair options.
+	Advice string
+}
+
+// callRef is one resolved call edge out of a function body.
+type callRef struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// RunPath executes the shared engine: seed per-function summaries,
+// propagate through calls to a fixpoint, export PathFacts (joining
+// method summaries into the first-party interfaces they implement),
+// and report every site reachable from a hot-path root.
+func RunPath(pass *Pass, cfg PathConfig) error {
+	decls := SourceFuncs(pass)
+
+	summaries := make(map[*types.Func]*PathFact, len(decls))
+	seen := make(map[*types.Func]map[token.Pos]bool, len(decls))
+	calls := make(map[*types.Func][]callRef, len(decls))
+	for _, d := range decls {
+		sum := &PathFact{Root: IsHotPathRoot(d.Decl)}
+		posSet := make(map[token.Pos]bool)
+		for _, s := range cfg.Seeds(pass, d.Decl) {
+			if posSet[s.Pos] {
+				continue
+			}
+			posSet[s.Pos] = true
+			s.Chain = []string{FuncDisplay(d.Fn)}
+			sum.Sites = append(sum.Sites, s)
+		}
+		summaries[d.Fn] = sum
+		seen[d.Fn] = posSet
+		calls[d.Fn] = collectCalls(pass, cfg, d.Decl.Body)
+	}
+
+	// Fixpoint: absorb callee summaries (same-package bodies and
+	// imported facts) until no summary grows. Dedup by site position
+	// keeps the iteration monotone and terminating even on recursion.
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			sum := summaries[d.Fn]
+			for _, c := range calls[d.Fn] {
+				var from *PathFact
+				if c.callee.Pkg() == pass.Pkg {
+					from = summaries[c.callee]
+				} else if c.callee.Pkg() != nil && FirstParty(c.callee.Pkg().Path()) {
+					if f, ok := pass.facts.get(pass.Analyzer.Name, FuncKey(c.callee)); ok {
+						from, _ = f.(*PathFact)
+					}
+				}
+				// Nearest-root attribution: a callee that is itself a
+				// hot-path root reports its own sites.
+				if from == nil || from.Root {
+					continue
+				}
+				for _, s := range from.Sites {
+					if seen[d.Fn][s.Pos] || len(sum.Sites) >= maxPathSites {
+						continue
+					}
+					seen[d.Fn][s.Pos] = true
+					chain := make([]string, 0, len(s.Chain)+1)
+					chain = append(chain, FuncDisplay(d.Fn))
+					chain = append(chain, s.Chain...)
+					sum.Sites = append(sum.Sites, Site{Pos: s.Pos, What: s.What, Chain: chain})
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, d := range decls {
+		sum := summaries[d.Fn]
+		if sum.Root || len(sum.Sites) > 0 {
+			pass.ExportFact(d.Fn, sum)
+		}
+	}
+	joinInterfaceFacts(pass, summaries)
+
+	reported := make(map[token.Pos]bool)
+	for _, d := range decls {
+		sum := summaries[d.Fn]
+		if !sum.Root {
+			continue
+		}
+		for _, s := range sum.Sites {
+			if reported[s.Pos] {
+				continue
+			}
+			reported[s.Pos] = true
+			pass.Reportf(s.Pos, "%s on the real-time path, reached via %s — %s",
+				s.What, strings.Join(s.Chain, " → "), cfg.Advice)
+		}
+	}
+	if cfg.RootCycleWhat != "" {
+		reportRootCycles(pass, cfg, decls, summaries, calls, reported)
+	}
+	return nil
+}
+
+// collectCalls resolves the call edges of one body. Function literals
+// are not descended into: their creation is the closure-capture seed,
+// and their execution context is not statically known.
+func collectCalls(pass *Pass, cfg PathConfig, body *ast.BlockStmt) []callRef {
+	var out []callRef
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := Callee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		if cfg.SkipCall != nil && cfg.SkipCall(pass, call, callee) {
+			return true
+		}
+		out = append(out, callRef{callee: callee, pos: call.Pos()})
+		return true
+	})
+	return out
+}
+
+// joinInterfaceFacts publishes, for every first-party interface a
+// package's concrete types implement, the union of the implementing
+// methods' summaries under the interface method's key. Later packages
+// calling through the interface (msm through disk.Device, which both
+// *disk.Disk and *fault.Disk implement) then see the join of every
+// implementation loaded before them in dependency order.
+func joinInterfaceFacts(pass *Pass, summaries map[*types.Func]*PathFact) {
+	ifaces := firstPartyInterfaces(pass.Pkg)
+	if len(ifaces) == 0 {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	for _, tn := range scope.Names() {
+		obj, ok := scope.Lookup(tn).(*types.TypeName)
+		if !ok || obj.IsAlias() {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		for _, ifn := range ifaces {
+			iface := ifn.Type().Underlying().(*types.Interface)
+			impl := types.Type(named)
+			if !types.Implements(impl, iface) {
+				if !types.Implements(types.NewPointer(named), iface) {
+					continue
+				}
+				impl = types.NewPointer(named)
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				im := iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, im.Pkg(), im.Name())
+				cm, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				var from *PathFact
+				if cm.Pkg() == pass.Pkg {
+					from = summaries[cm]
+				} else if f, ok := pass.facts.get(pass.Analyzer.Name, FuncKey(cm)); ok {
+					// Promoted method from an embedded cross-package
+					// type (fault.Disk embedding *disk.Disk).
+					from, _ = f.(*PathFact)
+				}
+				if from == nil || (len(from.Sites) == 0 && !from.Root) {
+					continue
+				}
+				key := FuncKey(im)
+				joined := &PathFact{}
+				if prev, ok := pass.facts.get(pass.Analyzer.Name, key); ok {
+					if pf, ok := prev.(*PathFact); ok {
+						joined.Root = pf.Root
+						joined.Sites = append(joined.Sites, pf.Sites...)
+					}
+				}
+				joined.Root = joined.Root || from.Root
+				havePos := make(map[token.Pos]bool, len(joined.Sites))
+				for _, s := range joined.Sites {
+					havePos[s.Pos] = true
+				}
+				for _, s := range from.Sites {
+					if !havePos[s.Pos] && len(joined.Sites) < maxPathSites {
+						havePos[s.Pos] = true
+						joined.Sites = append(joined.Sites, s)
+					}
+				}
+				// put cannot fail here: PathFact encodability was
+				// proven by the per-function exports above.
+				if err := pass.facts.put(pass.Analyzer.Name, key, joined); err != nil {
+					panic("analysis: joined fact not encodable: " + err.Error())
+				}
+			}
+		}
+	}
+}
+
+// firstPartyInterfaces lists the named interface types visible to the
+// package: declared in it or exported by a first-party import.
+func firstPartyInterfaces(pkg *types.Package) []*types.TypeName {
+	var out []*types.TypeName
+	collect := func(p *types.Package) {
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok && types.IsInterface(named) {
+				out = append(out, tn)
+			}
+		}
+	}
+	if FirstParty(pkg.Path()) {
+		collect(pkg)
+	}
+	for _, imp := range pkg.Imports() {
+		if FirstParty(imp.Path()) {
+			collect(imp)
+		}
+	}
+	return out
+}
+
+// reportRootCycles flags same-package call cycles that re-enter a
+// hot-path root: a round that can recurse into itself has no static
+// work bound no matter what its loops look like.
+func reportRootCycles(pass *Pass, cfg PathConfig, decls []DeclFunc, summaries map[*types.Func]*PathFact, calls map[*types.Func][]callRef, reported map[token.Pos]bool) {
+	for _, root := range decls {
+		if !summaries[root.Fn].Root {
+			continue
+		}
+		// Visit every function reachable from the root once (the chain
+		// recorded is the first discovery path); any edge from a
+		// visited function back to the root closes a cycle.
+		var chain []string
+		visited := make(map[*types.Func]bool)
+		var visit func(fn *types.Func)
+		visit = func(fn *types.Func) {
+			visited[fn] = true
+			chain = append(chain, FuncDisplay(fn))
+			for _, c := range calls[fn] {
+				if c.callee == root.Fn {
+					if !reported[c.pos] {
+						reported[c.pos] = true
+						pass.Reportf(c.pos, "%s: call re-enters hot-path root %s (%s → %s) — %s",
+							cfg.RootCycleWhat, FuncDisplay(root.Fn),
+							strings.Join(chain, " → "), FuncDisplay(root.Fn), cfg.Advice)
+					}
+					continue
+				}
+				if summaries[c.callee] == nil || visited[c.callee] {
+					continue
+				}
+				visit(c.callee)
+			}
+			chain = chain[:len(chain)-1]
+		}
+		visit(root.Fn)
+	}
+}

@@ -184,6 +184,5 @@ func connIO(pass *analysis.Pass, call *ast.CallExpr) (ioCall, bool) {
 // isNetType reports whether t (possibly *T) is a named type from
 // package net (net.Conn, net.Listener, *net.TCPConn, ...).
 func isNetType(t types.Type) bool {
-	pkg, _ := analysis.Named(t)
-	return pkg == "net"
+	return analysis.IsFromPackage(t, "net")
 }

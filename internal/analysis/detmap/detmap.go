@@ -135,29 +135,13 @@ func emissionSink(pass *analysis.Pass, call *ast.CallExpr) string {
 
 // isAppend reports whether call is the append built-in.
 func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
-	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-	if !ok {
-		return false
-	}
-	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
-	return ok && b.Name() == "append"
+	return analysis.IsBuiltin(pass.TypesInfo, call, "append")
 }
 
 // rootName renders the base identifier of an append target: x for both
 // `x` and `x.Field`.
 func rootName(e ast.Expr) string {
-	for {
-		switch v := ast.Unparen(e).(type) {
-		case *ast.Ident:
-			return v.Name
-		case *ast.SelectorExpr:
-			e = v.X
-		case *ast.IndexExpr:
-			e = v.X
-		default:
-			return ""
-		}
-	}
+	return analysis.RootName(e)
 }
 
 // sortedAfter reports whether any sort/slices call follows the range

@@ -31,6 +31,9 @@ type Package struct {
 	Types *types.Package
 	// TypesInfo records type information for every expression.
 	TypesInfo *types.Info
+	// Imports lists the package's direct imports; RunAll uses them to
+	// order passes so exported facts precede their importers.
+	Imports []string
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -38,6 +41,7 @@ type listPkg struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -53,6 +57,9 @@ type Resolver struct {
 	exports  map[string]string // import path -> export data file
 	packages map[string]*listPkg
 	importer types.Importer
+	// srcPkgs are packages the caller type-checked from source
+	// (analysistest fixture dependencies); they shadow export data.
+	srcPkgs map[string]*types.Package
 }
 
 // NewResolver runs `go list -export -deps -json` on the given patterns
@@ -65,7 +72,7 @@ func NewResolver(dir string, patterns ...string) (*Resolver, error) {
 	}
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module",
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,Standard,DepOnly,Module",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -75,24 +82,18 @@ func NewResolver(dir string, patterns ...string) (*Resolver, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
+	pkgs, err := parseGoList(out)
+	if err != nil {
+		return nil, err
+	}
 	r := &Resolver{
 		fset:     token.NewFileSet(),
 		exports:  make(map[string]string),
-		packages: make(map[string]*listPkg),
+		packages: pkgs,
 	}
-	dec := json.NewDecoder(bytes.NewReader(out))
-	for {
-		var p listPkg
-		if err := dec.Decode(&p); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("go list: decoding output: %w", err)
-		}
-		q := p
-		r.packages[p.ImportPath] = &q
+	for path, p := range pkgs {
 		if p.Export != "" {
-			r.exports[p.ImportPath] = p.Export
+			r.exports[path] = p.Export
 		}
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -104,6 +105,62 @@ func NewResolver(dir string, patterns ...string) (*Resolver, error) {
 	}
 	r.importer = importer.ForCompiler(r.fset, "gc", lookup)
 	return r, nil
+}
+
+// parseGoList decodes the JSON stream `go list -json` emits (one
+// object per package, concatenated, not a JSON array).
+func parseGoList(out []byte) (map[string]*listPkg, error) {
+	pkgs := make(map[string]*listPkg)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.ImportPath == "" {
+			return nil, fmt.Errorf("go list: package entry without ImportPath")
+		}
+		q := p
+		pkgs[p.ImportPath] = &q
+	}
+	return pkgs, nil
+}
+
+// AddSourcePackage registers an already type-checked package so later
+// Check calls resolve imports of its path from that package instead of
+// export data. analysistest uses this to give fixture packages
+// source-built dependency packages, exercising cross-package fact flow
+// without compiled artifacts.
+func (r *Resolver) AddSourcePackage(pkg *types.Package) {
+	if r.srcPkgs == nil {
+		r.srcPkgs = make(map[string]*types.Package)
+	}
+	r.srcPkgs[pkg.Path()] = pkg
+}
+
+// Import resolves an import path, preferring source-registered
+// packages over export data. Resolver is itself the types.Importer
+// handed to the checker.
+func (r *Resolver) Import(path string) (*types.Package, error) {
+	if p := r.srcPkgs[path]; p != nil {
+		return p, nil
+	}
+	return r.importer.Import(path)
+}
+
+// ImportFrom implements types.ImporterFrom with the same source-first
+// delegation as Import.
+func (r *Resolver) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p := r.srcPkgs[path]; p != nil {
+		return p, nil
+	}
+	if imp, ok := r.importer.(types.ImporterFrom); ok {
+		return imp.ImportFrom(path, dir, mode)
+	}
+	return r.importer.Import(path)
 }
 
 // Fset returns the resolver's shared file set.
@@ -126,7 +183,7 @@ func (r *Resolver) Check(path string, files []*ast.File) (*types.Package, *types
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: r.importer}
+	conf := types.Config{Importer: r}
 	pkg, err := conf.Check(path, r.fset, files, info)
 	if err != nil {
 		return nil, nil, err
@@ -155,6 +212,7 @@ func (r *Resolver) load(lp *listPkg) (*Package, error) {
 		Files:     files,
 		Types:     pkg,
 		TypesInfo: info,
+		Imports:   lp.Imports,
 	}, nil
 }
 

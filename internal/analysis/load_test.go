@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" {
+		t.Fatal("tests must run inside the module")
+	}
+	return filepath.Dir(gomod)
+}
+
+func TestParseGoList(t *testing.T) {
+	t.Run("valid stream", func(t *testing.T) {
+		// go list -json emits concatenated objects, not an array.
+		out := []byte(`{"ImportPath":"example.com/a","Dir":"/src/a","GoFiles":["a.go"],"Imports":["fmt"]}
+{"ImportPath":"fmt","Standard":true,"DepOnly":true}`)
+		pkgs, err := parseGoList(out)
+		if err != nil {
+			t.Fatalf("parseGoList: %v", err)
+		}
+		if len(pkgs) != 2 {
+			t.Fatalf("got %d packages, want 2", len(pkgs))
+		}
+		a := pkgs["example.com/a"]
+		if a == nil || a.Dir != "/src/a" || len(a.Imports) != 1 || a.Imports[0] != "fmt" {
+			t.Errorf("package a decoded wrong: %+v", a)
+		}
+		if f := pkgs["fmt"]; f == nil || !f.Standard || !f.DepOnly {
+			t.Errorf("package fmt decoded wrong: %+v", pkgs["fmt"])
+		}
+	})
+	t.Run("malformed json", func(t *testing.T) {
+		if _, err := parseGoList([]byte(`{"ImportPath": "x", `)); err == nil {
+			t.Fatal("want decode error for truncated JSON, got nil")
+		}
+	})
+	t.Run("missing import path", func(t *testing.T) {
+		_, err := parseGoList([]byte(`{"Dir":"/src/a"}`))
+		if err == nil || !strings.Contains(err.Error(), "ImportPath") {
+			t.Fatalf("want ImportPath error, got %v", err)
+		}
+	})
+}
+
+func TestNewResolverBadPattern(t *testing.T) {
+	if _, err := NewResolver(moduleRoot(t), "./does-not-exist/..."); err == nil {
+		t.Fatal("want error for a pattern matching nothing, got nil")
+	}
+}
+
+func TestResolverMissingExportData(t *testing.T) {
+	// A resolver scoped to one leaf package has export data only for
+	// that package's dependency cone; anything else must fail loudly
+	// rather than type-check against the wrong world.
+	r, err := NewResolver(moduleRoot(t), "./internal/alloc")
+	if err != nil {
+		t.Fatalf("NewResolver: %v", err)
+	}
+	if _, err := r.Import(ModulePath + "/internal/msm"); err == nil {
+		t.Fatal("want missing-export-data error for out-of-cone import, got nil")
+	}
+	if _, err := r.Import(ModulePath + "/internal/alloc"); err != nil {
+		t.Errorf("in-cone import failed: %v", err)
+	}
+}
+
+func TestLoadOutsideModule(t *testing.T) {
+	// Module-root detection: Load refuses a directory go list cannot
+	// resolve to buildable packages.
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("want error loading an empty non-module directory, got nil")
+	}
+}
+
+func TestLoadSinglePackage(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./internal/alloc")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != ModulePath+"/internal/alloc" {
+		t.Errorf("path = %q", p.Path)
+	}
+	if p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
+		t.Error("package not fully loaded")
+	}
+	if len(p.Imports) == 0 {
+		t.Error("Imports not populated; RunAll cannot order passes")
+	}
+}

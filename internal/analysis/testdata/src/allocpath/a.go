@@ -1,0 +1,78 @@
+// Fixture for the allocpath analyzer: heap allocations transitively
+// reachable from rt:hotpath roots are reported with their call chain;
+// the internal/alloc scratch arena and //lint:ignore are the escapes.
+package a
+
+import (
+	"fmt"
+
+	"mmfs/fixture/allocpath/dep"
+	"mmfs/internal/alloc"
+)
+
+type pair struct{ x, y int }
+
+var (
+	sink    []int
+	scratch []byte
+	keep    *pair
+	msg     string
+	box     interface{}
+	bs      []byte
+)
+
+// Hot is the fixture's hot-path root: every allocation it reaches —
+// directly, through a same-package helper, or through the dep
+// subpackage's exported facts — is reported at the offending site.
+//
+// rt:hotpath
+func Hot(n int, s string, p pair) {
+	sink = make([]int, n) // want `make on the real-time path, reached via a\.Hot —`
+	sink = []int{n}       // want `slice literal on the real-time path, reached via a\.Hot —`
+	helper()
+	dep.Fill(n)
+	f := func() {} // want `closure creation on the real-time path, reached via a\.Hot —`
+	f()
+	keep = &pair{}                   // want `heap-allocated &T\{\} literal on the real-time path, reached via a\.Hot —`
+	msg = s + "!"                    // want `string concatenation on the real-time path, reached via a\.Hot —`
+	box = interface{}(p)             // want `interface boxing on the real-time path, reached via a\.Hot —`
+	bs = []byte(s)                   // want `string conversion on the real-time path, reached via a\.Hot —`
+	fmt.Sprint(n)                    // want `call into fmt on the real-time path, reached via a\.Hot —`
+	scratch = alloc.Grow(scratch, n) // the scratch arena is the sanctioned escape
+	bounded(n)
+}
+
+func helper() {
+	sink = append(sink, 1) // want `growing append on the real-time path, reached via a\.Hot → a\.helper —`
+}
+
+// bounded allocates nothing: index writes into existing storage.
+func bounded(n int) {
+	for i := 0; i < n && i < len(sink); i++ {
+		sink[i] = i
+	}
+}
+
+// Dies panics on a broken invariant; allocations feeding a panic are
+// death-path work, not service-round work.
+//
+// rt:hotpath
+func Dies(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("fixture: %v", err))
+	}
+}
+
+// Cold is neither a root nor reachable from one: no findings.
+func Cold() {
+	_ = make([]byte, 8)
+	fmt.Sprint("cold")
+}
+
+// Suppressed proves the escape hatch.
+//
+// rt:hotpath
+func Suppressed() {
+	//lint:ignore allocpath fixture proves the escape hatch
+	_ = make([]byte, 8)
+}

@@ -1,0 +1,11 @@
+// Package dep proves cross-package fact propagation: it holds no
+// hot-path root, but its may-allocate summary is exported as a
+// PathFact and absorbed by the root fixture package's hot path.
+package dep
+
+var buf []byte
+
+// Fill allocates on behalf of callers.
+func Fill(n int) {
+	buf = make([]byte, n) // want `make on the real-time path, reached via a\.Hot → dep\.Fill —`
+}

@@ -1,0 +1,18 @@
+// Cross-package half of the blockinglock fixture: the dep
+// subpackage's exported BlockFact travels through the shared fact
+// store and is reported against this package's critical section.
+package a
+
+import "mmfs/fixture/blockinglock/dep"
+
+func badCrossPackageHeld() {
+	mu.Lock()
+	defer mu.Unlock()
+	dep.Recv() // want `call to dep\.Recv, which may block \(channel receive\) while holding mu`
+}
+
+func okCrossPackageUnlocked() {
+	mu.Lock()
+	mu.Unlock()
+	dep.Recv()
+}

@@ -1,0 +1,10 @@
+// Package dep proves cross-package fact propagation: Recv's
+// may-block summary is exported as a BlockFact and consumed by the
+// root fixture package's critical sections.
+package dep
+
+// Ch feeds Recv.
+var Ch chan int
+
+// Recv blocks until a value arrives.
+func Recv() int { return <-Ch }

@@ -1,0 +1,86 @@
+// Fixture for the boundedwork analyzer: loops reachable from
+// rt:hotpath roots must be bounded by admitted state (slice iteration
+// or an explicit condition), and no call chain may re-enter a root.
+package a
+
+import "mmfs/fixture/boundedwork/dep"
+
+var (
+	m  map[int]int
+	ch chan int
+	s  []int
+	n  int
+)
+
+// Hot is the fixture's hot-path root.
+//
+// rt:hotpath
+func Hot() {
+	spin()
+	mapWalk()
+	chanDrain()
+	dep.Walk()
+	okBounded()
+}
+
+func spin() {
+	for { // want `unconditional for loop on the real-time path, reached via a\.Hot → a\.spin —`
+		break
+	}
+}
+
+func mapWalk() {
+	for k := range m { // want `range over map on the real-time path, reached via a\.Hot → a\.mapWalk —`
+		_ = k
+	}
+}
+
+func chanDrain() {
+	for v := range ch { // want `range over channel on the real-time path, reached via a\.Hot → a\.chanDrain —`
+		_ = v
+	}
+}
+
+// okBounded iterates admitted state: slice loops are fine.
+func okBounded() {
+	for i := 0; i < len(s); i++ {
+		n += s[i]
+	}
+	for _, v := range s {
+		n += v
+	}
+}
+
+// Cold is neither a root nor reachable from one: no findings.
+func Cold() {
+	for {
+		break
+	}
+	for k := range m {
+		_ = k
+	}
+}
+
+// Suppressed proves the escape hatch.
+//
+// rt:hotpath
+func Suppressed() {
+	//lint:ignore boundedwork fixture proves the escape hatch
+	for {
+		break
+	}
+}
+
+// HotRec is re-entered through step: unbounded recursion through a
+// root, reported at the call that closes the cycle.
+//
+// rt:hotpath
+func HotRec(d int) {
+	if d > 0 {
+		step(d)
+	}
+}
+
+func step(d int) {
+	HotRec(d - 1) // want `recursion: call re-enters hot-path root a\.HotRec \(a\.HotRec → a\.step → a\.HotRec\) —`
+}

@@ -68,3 +68,58 @@ func IsMutex(t types.Type) bool {
 	p, n := Named(t)
 	return p == "sync" && (n == "Mutex" || n == "RWMutex")
 }
+
+// IsFromPackage reports whether t (possibly *T) is any named type
+// declared in the package with the given import path (net.Conn,
+// *net.TCPConn, ... for "net").
+func IsFromPackage(t types.Type, pkgPath string) bool {
+	p, _ := Named(t)
+	return p == pkgPath
+}
+
+// ImportedInterface finds the named interface path.name among pkg's
+// direct imports, or nil when the package cannot name it. Analyzers
+// use it to test types.Implements against first-party interfaces
+// (e.g. disk.Device) without importing the package themselves.
+func ImportedInterface(pkg *types.Package, path, name string) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != path {
+			continue
+		}
+		if tn, ok := imp.Scope().Lookup(name).(*types.TypeName); ok {
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// IsBuiltin reports whether the call invokes the named builtin
+// (append, make, new, ...), resolved through the type info rather than
+// by identifier spelling so shadowed names do not fool it.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// RootName renders the base identifier of an lvalue-ish expression:
+// x for `x`, `x.Field`, and `x[i].Field`; "" when there is none.
+func RootName(e ast.Expr) string {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package cache
 
 import (
+	"mmfs/internal/alloc"
 	"mmfs/internal/obs"
 	"mmfs/internal/strand"
 )
@@ -69,11 +70,11 @@ type entry struct {
 // consume (follower reading from the cache); leader/follower link the
 // interval chain L ← F1 ← F2 ordered by descending pos.
 type stream struct {
-	id   uint64
-	sid  strand.ID
-	pos  int
-	end  int
-	rate float64
+	id               uint64
+	sid              strand.ID
+	pos              int
+	end              int
+	rate             float64
 	leader, follower *stream
 }
 
@@ -97,14 +98,17 @@ type Cache struct {
 	pinned   int64
 	entries  map[blockKey]*entry
 	streams  map[uint64]*stream
+	// intervals counts leader←follower links, maintained incrementally
+	// by Adopt/CloseStream so the hot path never walks the stream map.
+	intervals int
 	// LRU list of unpinned entries, head = most recent.
 	head, tail *entry
 	stats      Stats
 	// obs mirrors the Stats counters into an observability registry;
 	// all fields nil when SetObs was never called.
-	obsHits, obsMisses, obsWaits     *obs.Counter
-	obsInserts, obsEvictions         *obs.Counter
-	obsAdoptions                     *obs.Counter
+	obsHits, obsMisses, obsWaits      *obs.Counter
+	obsInserts, obsEvictions          *obs.Counter
+	obsAdoptions                      *obs.Counter
 	obsBytes, obsPinned, obsIntervals *obs.Gauge
 }
 
@@ -153,13 +157,7 @@ func (c *Cache) syncGauges() {
 	}
 	c.obsBytes.Set(c.bytes)
 	c.obsPinned.Set(c.pinned)
-	intervals := 0
-	for _, t := range c.streams {
-		if t.leader != nil {
-			intervals++
-		}
-	}
-	c.obsIntervals.Set(int64(intervals))
+	c.obsIntervals.Set(int64(c.intervals))
 }
 
 // Stats returns a snapshot of the counters.
@@ -167,11 +165,7 @@ func (c *Cache) Stats() Stats {
 	s := c.stats
 	s.Bytes, s.PinnedBytes, s.Capacity = c.bytes, c.pinned, c.capacity
 	s.Streams = len(c.streams)
-	for _, t := range c.streams {
-		if t.leader != nil {
-			s.Intervals++
-		}
-	}
+	s.Intervals = c.intervals
 	return s
 }
 
@@ -183,6 +177,7 @@ func (c *Cache) OpenStream(id uint64, sid strand.ID, first, end int, rate float6
 	if _, ok := c.streams[id]; ok {
 		c.CloseStream(id)
 	}
+	//lint:ignore allocpath one stream record per open play, retained until CloseStream
 	c.streams[id] = &stream{id: id, sid: sid, pos: first, end: end, rate: rate}
 }
 
@@ -193,6 +188,7 @@ func (c *Cache) OpenStream(id uint64, sid strand.ID, first, end int, rate float6
 // the pins), and chains followers L ← F1 ← F2 instead of fanning out.
 func (c *Cache) candidateLeader(sid strand.ID, first int, rate float64, self *stream) *stream {
 	var best *stream
+	//lint:ignore boundedwork the streams map is bounded by admission control (Eq. 17's n_max)
 	for _, t := range c.streams {
 		if t == self || t.sid != sid || t.follower != nil {
 			continue
@@ -268,6 +264,7 @@ func (c *Cache) Adopt(id uint64) bool {
 		// claim; the block is resident either way.
 	}
 	s.leader, l.follower = l, s
+	c.intervals++
 	c.stats.Adoptions++
 	obsInc(c.obsAdoptions)
 	c.syncGauges()
@@ -278,6 +275,8 @@ func (c *Cache) Adopt(id uint64) bool {
 // stream's position and hands down (or releases) the block's pin. A
 // Wait means the block is not yet produced by the leader; a Miss means
 // the stream has fallen off the cache and must be demoted to disk.
+//
+// rt:hotpath
 func (c *Cache) Get(id uint64, index int) ([]byte, Result) {
 	s := c.streams[id]
 	if s == nil {
@@ -311,6 +310,8 @@ func (c *Cache) Get(id uint64, index int) ([]byte, Result) {
 
 // Peek classifies what Get would return, with no side effects. The
 // manager's idle-time scan uses it to skip Wait-blocked streams.
+//
+// rt:hotpath
 func (c *Cache) Peek(id uint64, index int) Result {
 	s := c.streams[id]
 	if s == nil {
@@ -347,6 +348,8 @@ func (c *Cache) consume(s *stream, e *entry) {
 // Put records a block the stream fetched from disk, making it
 // available to followers (pinned if one needs it) or to the plain LRU.
 // The stream's position advances past the block either way.
+//
+// rt:hotpath
 func (c *Cache) Put(id uint64, index int, data []byte) {
 	s := c.streams[id]
 	if s == nil {
@@ -361,7 +364,9 @@ func (c *Cache) Put(id uint64, index int, data []byte) {
 	}
 	key := blockKey{s.sid, index}
 	if e := c.entries[key]; e != nil {
-		e.data = data
+		// Copy into the entry-owned buffer: callers (the msm round
+		// loop) recycle their read buffer the next service slot.
+		e.data = alloc.CopyBytes(e.data, data)
 		c.claimOrTouch(s, e)
 		return
 	}
@@ -372,7 +377,9 @@ func (c *Cache) Put(id uint64, index int, data []byte) {
 			return
 		}
 	}
-	e := &entry{key: key, data: data}
+	//lint:ignore allocpath one entry per cache insert; the cache exists to retain blocks
+	e := &entry{key: key}
+	e.data = alloc.CopyBytes(nil, data)
 	c.entries[key] = e
 	c.bytes += size
 	c.stats.Inserts++
@@ -401,6 +408,8 @@ func (c *Cache) claimOrTouch(s *stream, e *entry) {
 // Produced advances the stream's position past a block that was
 // serviced without touching the cache (silence blocks cost no disk
 // time and are regenerated on read, so caching them is pure waste).
+//
+// rt:hotpath
 func (c *Cache) Produced(id uint64, index int) {
 	s := c.streams[id]
 	if s == nil {
@@ -426,6 +435,7 @@ func (c *Cache) CloseStream(id uint64) {
 		return
 	}
 	delete(c.streams, id)
+	//lint:ignore boundedwork the entries map is bounded by the configured cache capacity
 	for _, e := range c.entries {
 		if e.claimant == s {
 			if f := s.follower; f != nil && e.key.index >= f.pos && e.key.index < f.end {
@@ -436,6 +446,12 @@ func (c *Cache) CloseStream(id uint64) {
 			c.pinned -= int64(len(e.data))
 			c.lruPushFront(e)
 		}
+	}
+	// Splicing the chain removes exactly one link when the closed
+	// stream participated in any: its own (leader non-nil) or its
+	// follower's (which now trails s.leader, non-nil or not).
+	if s.leader != nil || s.follower != nil {
+		c.intervals--
 	}
 	if s.follower != nil {
 		s.follower.leader = s.leader

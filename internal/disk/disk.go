@@ -36,6 +36,9 @@ type Device interface {
 	Stats() Stats
 	// Timed data path (virtual service times drive the round clock).
 	Read(h, lba, n int) ([]byte, time.Duration, error)
+	// ReadInto is Read without the buffer allocation: dst must hold
+	// n sectors. It is the rt:hotpath entry point (see allocpath).
+	ReadInto(h, lba, n int, dst []byte) (time.Duration, error)
 	ReadContiguous(h, lba, n int) ([]byte, time.Duration, error)
 	Write(h, lba int, data []byte) (time.Duration, error)
 	PeekServiceTime(h, lba, n int) time.Duration
@@ -141,6 +144,7 @@ func (d *Disk) ParkHead(h, cylinder int) {
 
 func (d *Disk) checkRange(lba, n int) error {
 	if n < 0 || lba < 0 || lba+n > d.geom.TotalSectors() {
+		//lint:ignore allocpath range errors abort the access; the error path is cold
 		return fmt.Errorf("disk: access [%d,%d) outside %d sectors", lba, lba+n, d.geom.TotalSectors())
 	}
 	return nil
@@ -150,6 +154,7 @@ func (d *Disk) checkRange(lba, n int) error {
 // materialize is true; a nil return reads as zeros.
 func (d *Disk) page(cyl int, materialize bool) []byte {
 	if d.pages[cyl] == nil && materialize {
+		//lint:ignore allocpath a cylinder page materializes once; steady-state rounds hit warm pages
 		d.pages[cyl] = make([]byte, d.geom.SectorsPerCylinder()*d.geom.SectorSize)
 	}
 	return d.pages[cyl]
@@ -180,6 +185,42 @@ func (d *Disk) ReadAt(lba, n int) ([]byte, error) {
 	return buf, nil
 }
 
+// ReadAtInto copies n sectors starting at lba into dst without
+// charging time or allocating; dst must have room for n sectors.
+func (d *Disk) ReadAtInto(lba, n int, dst []byte) error {
+	if err := d.checkRange(lba, n); err != nil {
+		return err
+	}
+	ss := d.geom.SectorSize
+	spc := d.geom.SectorsPerCylinder()
+	if len(dst) < n*ss {
+		//lint:ignore allocpath short-buffer errors abort the access; the error path is cold
+		return fmt.Errorf("disk: ReadAtInto buffer holds %d bytes, need %d", len(dst), n*ss)
+	}
+	for done := 0; done < n; {
+		cur := lba + done
+		cyl := cur / spc
+		inCyl := cur % spc
+		span := spc - inCyl
+		if span > n-done {
+			span = n - done
+		}
+		seg := dst[done*ss : (done+span)*ss]
+		if p := d.page(cyl, false); p != nil {
+			copy(seg, p[inCyl*ss:(inCyl+span)*ss])
+		} else {
+			// Unmaterialized cylinders read as zeros; dst may hold
+			// stale bytes from its previous lap around the scratch
+			// arena.
+			for i := range seg {
+				seg[i] = 0
+			}
+		}
+		done += span
+	}
+	return nil
+}
+
 // WriteAt stores data (padded to whole sectors with zeros) at lba
 // without charging time. Use Write for the timed path.
 func (d *Disk) WriteAt(lba int, data []byte) error {
@@ -191,6 +232,7 @@ func (d *Disk) WriteAt(lba int, data []byte) error {
 	spc := d.geom.SectorsPerCylinder()
 	padded := data
 	if len(data) != n*ss {
+		//lint:ignore allocpath padding happens only for partial-sector writes; block flushes are sector-aligned
 		padded = make([]byte, n*ss)
 		copy(padded, data)
 	}
@@ -259,6 +301,28 @@ func (d *Disk) Read(h, lba, n int) ([]byte, time.Duration, error) {
 		return nil, 0, err
 	}
 	return buf, t, nil
+}
+
+// ReadInto is the allocation-free variant of Read: the same timing
+// and stats, with the data landing in the caller's buffer (at least
+// n sectors long). The msm service round uses it so steady-state
+// playback recycles one scratch buffer per manager.
+//
+// rt:hotpath
+func (d *Disk) ReadInto(h, lba, n int, dst []byte) (time.Duration, error) {
+	if err := d.checkRange(lba, n); err != nil {
+		return 0, err
+	}
+	t := d.serviceTime(h, lba, n, false)
+	d.stats.Reads++
+	d.stats.SectorsRead += uint64(n)
+	if d.readLatency != nil {
+		d.readLatency.Observe(t.Seconds())
+	}
+	if err := d.ReadAtInto(lba, n, dst); err != nil {
+		return 0, err
+	}
+	return t, nil
 }
 
 // ReadContiguous performs a timed read that is physically contiguous

@@ -131,6 +131,20 @@ func (d *Disk) Read(h, lba, n int) ([]byte, time.Duration, error) {
 	return d.injectRead(lba, n, data, t)
 }
 
+// ReadInto performs the allocation-free base read, then injects
+// scenario faults. dst already holds the data when a fault is
+// reported; callers treat the read as failed and retry.
+//
+// rt:hotpath
+func (d *Disk) ReadInto(h, lba, n int, dst []byte) (time.Duration, error) {
+	t, err := d.Disk.ReadInto(h, lba, n, dst)
+	if err != nil {
+		return t, err
+	}
+	_, t, err = d.injectRead(lba, n, dst, t)
+	return t, err
+}
+
 // ReadContiguous mirrors Read for run-continuation transfers.
 func (d *Disk) ReadContiguous(h, lba, n int) ([]byte, time.Duration, error) {
 	data, t, err := d.Disk.ReadContiguous(h, lba, n)

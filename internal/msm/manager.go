@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"mmfs/internal/alloc"
 	"mmfs/internal/cache"
 	"mmfs/internal/continuity"
 	"mmfs/internal/disk"
@@ -145,7 +146,11 @@ type Manager struct {
 	scratchAct []*request
 	scratchAdm []continuity.Request
 	scratchDeg []bool
-	sorter     scanSorter
+	// blockBuf is the reusable block-payload buffer the timed read
+	// path fills via Reader.ReadBlockInto; its contents are only valid
+	// until the next read.
+	blockBuf []byte
+	sorter   scanSorter
 	// obs, when set, receives per-round trace records and mirrors the
 	// counters into a metrics registry (see obs.go).
 	obs *roundObs
@@ -240,7 +245,7 @@ func (m *Manager) admissionSet() []continuity.Request {
 		if r.pause != nil && r.pause.destructive {
 			continue
 		}
-		out = append(out, r.adm)
+		out = alloc.Append(out, r.adm)
 	}
 	m.scratchAdm = out
 	return out
@@ -272,6 +277,7 @@ func (m *Manager) admit(candidate continuity.Request, cacheServed bool) (continu
 	dec := ca.Admit(m.admissionSet(), m.k, candidate, cacheServed)
 	m.noteAdmission(dec.Admitted, dec.CacheServed)
 	if !dec.Admitted {
+		//lint:ignore allocpath admission rejection wraps the reason once, on the error path
 		return dec, fmt.Errorf("%w: %s", ErrAdmissionRejected, dec.Reason)
 	}
 	if dec.CacheServed {
@@ -295,6 +301,7 @@ func (m *Manager) admit(candidate continuity.Request, cacheServed bool) (continu
 			if m.obs != nil {
 				m.obs.transitions.Inc()
 			}
+			//lint:ignore boundedwork transition rounds re-enter the round loop a bounded len(dec.Steps) times; inDemote blocks deeper nesting
 			m.RunRound()
 		}
 	case NaiveJump:
@@ -576,7 +583,7 @@ func (m *Manager) active() []*request {
 	out := m.scratchAct[:0]
 	for _, r := range m.reqs {
 		if !r.done && r.pause == nil && !r.demoting {
-			out = append(out, r)
+			out = alloc.Append(out, r)
 		}
 	}
 	m.scratchAct = out
@@ -587,6 +594,8 @@ func (m *Manager) active() []*request {
 // to k blocks of transfer. If no request had work, the clock advances
 // to the next time one will. It reports false when no active request
 // remains.
+//
+// rt:hotpath
 func (m *Manager) RunRound() bool {
 	m.processDemotions()
 	act := m.active()
@@ -703,6 +712,7 @@ func (m *Manager) processDemotions() {
 		return
 	}
 	m.inDemote = true
+	//lint:ignore allocpath the deferred reset captures only the receiver; escape analysis keeps it on the stack
 	defer func() { m.inDemote = false }()
 	for _, r := range m.reqs {
 		if !r.needsDemote || r.done || r.pause != nil {
@@ -727,6 +737,7 @@ func (m *Manager) processDemotions() {
 		if err != nil {
 			r.cacheServed = false
 			m.closeCacheStream(r)
+			//lint:ignore allocpath a destructive pause is a rare terminal event; its state is retained
 			r.pause = &pauseState{at: m.clock.Now(), destructive: true}
 			continue
 		}
@@ -778,6 +789,8 @@ func (s *scanSorter) Swap(i, j int) {
 // at the end of the sweep. Keys are computed once per request into the
 // manager's scratch storage, and the typical small round (n ≤ 16) is
 // ordered by a stable insertion sort with no sort.Interface traffic.
+//
+// rt:hotpath
 func (m *Manager) scanSort(act []*request) {
 	head := m.d.HeadCylinder(0)
 	nc := m.d.Geometry().Cylinders
@@ -790,7 +803,7 @@ func (m *Manager) scanSort(act []*request) {
 				k += nc
 			}
 		}
-		keys = append(keys, k)
+		keys = alloc.Append(keys, k)
 	}
 	m.sorter.keys = keys
 	if len(act) <= 16 {
@@ -812,6 +825,8 @@ func (m *Manager) scanSort(act []*request) {
 
 // serviceRequest transfers up to k blocks for the request; reports
 // whether any work happened.
+//
+// rt:hotpath
 func (m *Manager) serviceRequest(r *request, k int) bool {
 	switch {
 	case r.kind == Play && r.cacheServed:
@@ -852,7 +867,7 @@ func (m *Manager) serviceCached(r *request, k int) bool {
 		if e.Silent() {
 			// Silence blocks cost no disk time on the disk path
 			// either; regenerate directly and advance the position.
-			if _, _, _, rerr := b.Reader.ReadBlock(0, b.Index); rerr != nil {
+			if _, _, _, rerr := b.Reader.ReadBlockInto(0, b.Index, &m.blockBuf); rerr != nil {
 				m.violate(&ps.violations, Violation{Block: ps.nextFetch, Deadline: m.clock.Now(), Actual: m.clock.Now()})
 				r.done = true
 				m.closeCacheStream(r)
@@ -922,7 +937,7 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 		}
 		var maxT time.Duration
 		first := ps.nextFetch
-		deg := append(m.scratchDeg[:0], make([]bool, batch)...)
+		deg := alloc.Zeroed(m.scratchDeg, batch)
 		m.scratchDeg = deg
 		for i := 0; i < batch; i++ {
 			b := ps.plan.Blocks[first+i]
@@ -943,7 +958,7 @@ func (m *Manager) servicePlay(r *request, k int) bool {
 				}
 			}
 			h := i % m.d.Heads()
-			data, t, silent, err := b.Reader.ReadBlock(h, b.Index)
+			data, t, silent, err := b.Reader.ReadBlockInto(h, b.Index, &m.blockBuf)
 			if err != nil && isFault(err) {
 				data, t, silent, err = m.retryRead(b, h, t, err)
 			}
@@ -1050,7 +1065,7 @@ func (m *Manager) retryRead(b PlannedBlock, h int, t0 time.Duration, err0 error)
 		if perr != nil || est > m.retrySlack {
 			break
 		}
-		data, t, silent, rerr := b.Reader.ReadBlock(h, b.Index)
+		data, t, silent, rerr := b.Reader.ReadBlockInto(h, b.Index, &m.blockBuf)
 		total += t
 		if t >= m.retrySlack {
 			m.retrySlack = 0
@@ -1095,6 +1110,7 @@ func (ps *playState) deadline(j int) time.Duration {
 // violate records one continuity violation on a request and in the
 // manager-wide counter the observability layer publishes.
 func (m *Manager) violate(dst *[]Violation, v Violation) {
+	//lint:ignore allocpath violations are rare by design and must be retained for the caller's report
 	*dst = append(*dst, v)
 	m.stats.Violations++
 }
@@ -1191,11 +1207,6 @@ func (m *Manager) serviceRecord(r *request, k int) bool {
 func (m *Manager) nextWorkTime() (time.Duration, bool) {
 	var best time.Duration
 	found := false
-	note := func(t time.Duration) {
-		if !found || t < best {
-			best, found = t, true
-		}
-	}
 	for _, r := range m.reqs {
 		if r.done || r.pause != nil || r.demoting {
 			continue
@@ -1213,20 +1224,30 @@ func (m *Manager) nextWorkTime() (time.Duration, bool) {
 				continue
 			}
 			if !ps.started || m.occupancy(ps) < ps.plan.Buffers {
-				note(m.clock.Now())
+				best, found = noteEarliest(best, found, m.clock.Now())
 				continue
 			}
 			// Next buffer release: the oldest unreleased block
 			// finishes display.
 			released := ps.releasedBlocks(m.clock.Now() - ps.startTime)
-			note(ps.startTime + ps.deadlines[released+1])
+			best, found = noteEarliest(best, found, ps.startTime+ps.deadlines[released+1])
 		case Record:
 			rs := r.rec
 			if rs.exhausted || (rs.totalBlks > 0 && rs.nextWrite >= rs.totalBlks) {
 				continue
 			}
-			note(rs.start + time.Duration(rs.nextWrite+1)*rs.blockDur)
+			best, found = noteEarliest(best, found, rs.start+time.Duration(rs.nextWrite+1)*rs.blockDur)
 		}
+	}
+	return best, found
+}
+
+// noteEarliest folds candidate time t into the running minimum. (A
+// plain function, not a closure: nextWorkTime runs every idle round
+// and a capturing closure would be a per-call heap allocation.)
+func noteEarliest(best time.Duration, found bool, t time.Duration) (time.Duration, bool) {
+	if !found || t < best {
+		return t, true
 	}
 	return best, found
 }

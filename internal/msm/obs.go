@@ -74,6 +74,8 @@ func (m *Manager) SetObs(reg *obs.Registry, ring *obs.TraceRing) {
 
 // recordRound attributes everything since the previous record to one
 // completed service round and appends its trace entry.
+//
+// rt:hotpath
 func (m *Manager) recordRound(start time.Duration, kAtStart, active, cacheServed, streamsServed int) {
 	o := m.obs
 	if o == nil {

@@ -84,6 +84,7 @@ func (h *Histogram) Observe(v float64) {
 	} else {
 		h.inf.Add(1)
 	}
+	//lint:ignore boundedwork CAS retry: each iteration either lands the swap or another writer made progress
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)

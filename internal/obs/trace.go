@@ -67,12 +67,18 @@ func NewTraceRing(n int) *TraceRing {
 	return &TraceRing{buf: make([]RoundTrace, 0, n)}
 }
 
-// Append records one round, evicting the oldest when full.
+// Append records one round, evicting the oldest when full. The ring's
+// full capacity is reserved at construction, so appending is a
+// reslice, never an allocation — Append sits on the msm recordRound
+// hot path.
+//
+// rt:hotpath
 func (t *TraceRing) Append(r RoundTrace) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.buf) < cap(t.buf) {
-		t.buf = append(t.buf, r)
+	if n := len(t.buf); n < cap(t.buf) {
+		t.buf = t.buf[:n+1]
+		t.buf[n] = r
 	} else {
 		t.buf[t.next] = r
 		t.next = (t.next + 1) % cap(t.buf)

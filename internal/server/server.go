@@ -313,6 +313,7 @@ func (s *Server) handle(op wire.Op, body []byte) []byte {
 	case wire.OpTriggers:
 		err = s.triggers(d, e)
 	case wire.OpFlatten:
+		//lint:ignore blockinglock the server intentionally runs every op to completion under s.mu; disk time is virtual (see the mutex doc)
 		err = s.flatten(d, e)
 	case wire.OpMetrics:
 		err = s.metrics(d, e)

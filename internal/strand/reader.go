@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mmfs/internal/alloc"
 	"mmfs/internal/disk"
 	"mmfs/internal/layout"
 )
@@ -63,6 +64,44 @@ func (r *Reader) ReadBlock(h, i int) (data []byte, t time.Duration, silent bool,
 		return raw, t, false, nil
 	}
 	return raw[:n], t, false, nil
+}
+
+// ReadBlockInto is ReadBlock recycling the caller's scratch buffer:
+// *buf is grown (via the alloc scratch arena) to the block's full
+// sector span, refilled, and the returned slice aliases it trimmed to
+// the payload. Steady-state service rounds reuse one buffer per
+// manager, which is what keeps BenchmarkPlaybackRound at zero
+// allocations per round.
+//
+// rt:hotpath
+func (r *Reader) ReadBlockInto(h, i int, buf *[]byte) (data []byte, t time.Duration, silent bool, err error) {
+	e, err := r.s.Block(i)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	n := r.blockPayloadBytes(i)
+	if e.Silent() {
+		b := alloc.Grow(*buf, n)
+		*buf = b
+		fill := SilenceFill(r.s.Medium())
+		for j := range b {
+			b[j] = fill
+		}
+		return b, 0, true, nil
+	}
+	sectors := int(e.SectorCount)
+	ss := r.d.Geometry().SectorSize
+	b := alloc.Grow(*buf, sectors*ss)
+	*buf = b
+	t, err = r.d.ReadInto(h, int(e.Sector), sectors, b)
+	if err != nil {
+		return nil, t, false, err
+	}
+	if r.s.Variable() {
+		// Variable-rate blocks are self-describing; return them raw.
+		return b, t, false, nil
+	}
+	return b[:n], t, false, nil
 }
 
 // PeekBlockTime reports the service time head h would pay to read
