@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages whose tests exercise real goroutine concurrency; the race
 # subset keeps CI latency down while still covering every mutex.
-RACE_PKGS = ./internal/server ./internal/msm ./internal/client ./internal/cache ./internal/obs ./internal/fault
+RACE_PKGS = ./internal/server ./internal/msm ./internal/client ./internal/cache ./internal/obs ./internal/fault ./internal/disk
 
-.PHONY: all build test race lint lint-fix-check bench bench-baseline bench-compare bench-check fuzz chaos clean
+.PHONY: all build test race race-bench lint lint-fix-check bench bench-baseline bench-compare bench-check fuzz chaos clean
 
 all: build lint test
 
@@ -16,6 +16,12 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# One pass of the striped-array benchmarks under the race detector:
+# the per-spindle sub-round goroutines run with 1000 admitted streams,
+# the heaviest concurrency the code base generates.
+race-bench:
+	$(GO) test -race -run '^$$' -bench 'BenchmarkStripedRound|BenchmarkRound1000Streams' -benchtime=1x .
 
 # lint = the standard vet suite plus mmfsvet, the project's own
 # invariant checkers (see DESIGN.md "Invariants & static analysis" and
@@ -63,11 +69,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzParseScenario -fuzztime=10s ./internal/fault
 
-# Replay the EXP-FT chaos storms and check the acceptance assertions
-# (zero aborted plays, zero escalation stops, bounded degradation).
+# Replay the EXP-FT chaos storms and the EXP-STRIPE degraded-spindle
+# run, then check the acceptance assertions (zero aborted plays, zero
+# escalation stops, bounded degradation, fault isolation per spindle).
 chaos:
 	$(GO) run ./cmd/mmexperiments -exp ft
-	$(GO) test -run TestFaultTolerance ./internal/experiments
+	$(GO) run ./cmd/mmexperiments -exp stripe
+	$(GO) test -run 'TestFaultTolerance|TestStripedScaling' ./internal/experiments
+	$(GO) test -run TestStriped ./internal/msm
 
 clean:
 	$(GO) clean ./...

@@ -586,3 +586,234 @@ func BenchmarkIntegrityCheck(b *testing.B) {
 		}
 	}
 }
+
+// --- Striped-array benchmarks --------------------------------------
+
+// stripedBench builds a p-spindle array rig with stripe-group-aligned
+// video strands: per spindle, `per` strands of `frames` frames, each
+// starting `gap` spindle-local cylinders after the previous.
+type stripedBench struct {
+	arr *disk.Array
+	a   *alloc.Allocator
+	dev continuity.Device
+	p   int
+}
+
+func newStripedBench(b *testing.B, g disk.Geometry, p, stripe int) *stripedBench {
+	b.Helper()
+	devs := make([]disk.Device, p)
+	for i := range devs {
+		devs[i] = disk.MustNew(g)
+	}
+	arr, err := disk.NewArray(devs, stripe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := alloc.New(arr.Geometry(), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lg := arr.Geometry()
+	return &stripedBench{
+		arr: arr, a: a, p: p,
+		dev: continuity.Device{
+			TransferRate: lg.TransferRateBits(),
+			MaxAccess:    continuity.Seconds(lg.MaxAccessTime()),
+			MinAccess:    continuity.Seconds(lg.MinAccessTime()),
+		},
+	}
+}
+
+// record writes one strand onto the given spindle starting at the given
+// spindle-local cylinder of a stripe-group (stripe cylinders wide).
+func (sb *stripedBench) record(b *testing.B, cfg strand.WriterConfig, spindle, localCyl, stripe, units int, payload int) *strand.Strand {
+	b.Helper()
+	cfg.StartCylinder = (localCyl/stripe*sb.p+spindle)*stripe + localCyl%stripe
+	w, err := strand.NewWriter(sb.arr, sb.a, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := media.NewVideoSource(units, payload, cfg.Rate, int64(1000*spindle+localCyl))
+	for {
+		u, ok := src.Next()
+		if !ok {
+			break
+		}
+		if _, err := w.Append(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s, err := w.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkStripedRound saturates a 4-spindle striped array with the
+// per-spindle n_max on every spindle — 4× the single-disk admissible
+// population — and plays the whole set to completion per op. The
+// scaling_x metric (admitted / single-spindle n_max) is the headline:
+// the committed baseline gates it at 4.0, and the benchmark itself
+// fails below 3.6× (the 10%-of-ideal floor).
+func BenchmarkStripedRound(b *testing.B) {
+	const p, stripe = 4, 120
+	sb := newStripedBench(b, disk.DefaultGeometry(), p, stripe)
+	adm := continuity.AdmissionFor(sb.dev)
+	scattering := continuity.Seconds(sb.arr.Geometry().AccessTime(32))
+	nmax := adm.NMax(continuity.Request{
+		Name: "video", Granularity: 3, UnitBits: 18000 * 8, Rate: 30,
+		Scattering: scattering,
+	})
+	total := p * nmax
+	cfg := strand.WriterConfig{
+		Medium: layout.Video, Rate: 30, UnitBytes: 18000, Granularity: 3,
+		Constraint: alloc.Constraint{MinCylinders: 1, MaxCylinders: 32},
+	}
+	plans := make([]msm.PlayPlan, total)
+	for j := range plans {
+		cfg.ID = strand.ID(j + 1)
+		s := sb.record(b, cfg, j%p, (j/p)*stripe, stripe, 300, 18000)
+		plan, err := msm.PlanStrandPlay(sb.arr, s, msm.PlanOptions{
+			ReadAhead: 1, Buffers: 16, Scattering: scattering,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans[j] = plan
+	}
+	before := sb.arr.Stats()
+	var admitted, violations, rounds float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr := msm.New(sb.arr, adm)
+		ids := make([]msm.RequestID, 0, total)
+		for _, plan := range plans {
+			id, _, err := mgr.AdmitPlay(plan)
+			if err != nil {
+				b.Fatalf("admission lost capacity at n=%d: %v", len(ids), err)
+			}
+			ids = append(ids, id)
+		}
+		mgr.RunUntilDone()
+		admitted += float64(len(ids))
+		for _, id := range ids {
+			v, err := mgr.Violations(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			violations += float64(len(v))
+		}
+		rounds += float64(mgr.Stats().Rounds)
+	}
+	b.StopTimer()
+	after := sb.arr.Stats()
+	n := float64(b.N)
+	scaling := admitted / n / float64(nmax)
+	b.ReportMetric(float64(nmax), "nmax_single")
+	b.ReportMetric(admitted/n, "n_admitted")
+	b.ReportMetric(scaling, "scaling_x")
+	b.ReportMetric(violations/n, "viol")
+	b.ReportMetric(rounds/n, "rounds/op")
+	b.ReportMetric(float64(after.Reads-before.Reads)/n, "disk_blocks/op")
+	if scaling < 3.6 {
+		b.Fatalf("aggregate admission scaled only %.2f× the single-disk n_max (want ≥ 3.6×)", scaling)
+	}
+	if violations != 0 {
+		b.Fatalf("%v continuity violations at p·n_max", violations)
+	}
+}
+
+// BenchmarkRound1000Streams times single service rounds with 1000
+// concurrently admitted streams on a 4-spindle array — 250 per spindle,
+// a population far past any single disk — using a scaled-down geometry
+// (fast spindles, 2 KB blocks at 1 unit/s) so the per-spindle Eq. 18
+// admits the load with k=3. Like BenchmarkPlaybackRound/steady, the
+// measured rounds run on a warmed manager and the allocs/op figure is
+// the CI-gated invariant: the parallel sub-round fan-out must not
+// allocate in steady state. The -race CI subset runs this benchmark
+// once to exercise the lane goroutines under the race detector.
+func BenchmarkRound1000Streams(b *testing.B) {
+	const (
+		p, stripe = 4, 500
+		perSp     = 250
+		units     = 240 // 240 one-sector blocks ≈ 8 local cylinders
+	)
+	g := disk.Geometry{
+		Cylinders: 2000, Surfaces: 1, SectorsPerTrack: 32, SectorSize: 2048,
+		RPM: 36000, MinSeek: 200 * time.Microsecond, MaxSeek: 5 * time.Millisecond, Heads: 1,
+	}
+	sb := newStripedBench(b, g, p, stripe)
+	adm := continuity.AdmissionFor(sb.dev)
+	scattering := continuity.Seconds(sb.arr.Geometry().AccessTime(1))
+	tmpl := continuity.Request{
+		Name: "lite", Granularity: 1, UnitBits: 2048 * 8, Rate: 1,
+		Scattering: scattering,
+	}
+	reqs := make([]continuity.Request, perSp)
+	for i := range reqs {
+		reqs[i] = tmpl
+	}
+	k, ok := adm.KTransient(reqs)
+	if !ok {
+		b.Fatalf("no feasible k for %d streams per spindle", perSp)
+	}
+	// One contiguous strand per spindle; each is played 250 times over
+	// (the plays are independent streams to admission and servicing —
+	// no interval cache is attached, so nothing is deduplicated).
+	plans := make([]msm.PlayPlan, 0, p*perSp)
+	for sp := 0; sp < p; sp++ {
+		s := sb.record(b, strand.WriterConfig{
+			ID: strand.ID(sp + 1), Medium: layout.Video, Rate: 1,
+			UnitBytes: 2048, Granularity: 1,
+			Constraint: alloc.Constraint{MaxCylinders: 1}, // contiguous: minimal l_ds
+		}, sp, 0, stripe, units, 2048)
+		plan, err := msm.PlanStrandPlay(sb.arr, s, msm.PlanOptions{
+			ReadAhead: k, Buffers: 2 * k, Scattering: scattering,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < perSp; i++ {
+			plans = append(plans, plan)
+		}
+	}
+	admit := func(b *testing.B) *msm.Manager {
+		mgr := msm.New(sb.arr, adm)
+		// Forced k with no stepwise transitions: the full population is
+		// admitted at virtual time zero so warmed rounds run at the
+		// steady-state operating point.
+		mgr.SetPolicy(msm.NaiveJump)
+		mgr.ForceK(k)
+		for i, plan := range plans {
+			if _, _, err := mgr.AdmitPlay(plan); err != nil {
+				b.Fatalf("stream %d: %v", i, err)
+			}
+			mgr.ForceK(k)
+		}
+		for i := 0; i < 4; i++ {
+			if !mgr.RunRound() {
+				b.Fatal("population drained during warm-up")
+			}
+		}
+		return mgr
+	}
+	mgr := admit(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !mgr.RunRound() {
+			b.StopTimer()
+			mgr = admit(b)
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	st := mgr.Stats()
+	b.ReportMetric(float64(len(plans)), "streams")
+	b.ReportMetric(float64(k), "k")
+	b.ReportMetric(float64(st.BlocksFetched)/float64(st.Rounds), "blocks/round")
+	if st.Violations != 0 {
+		b.Fatalf("%d continuity violations", st.Violations)
+	}
+}

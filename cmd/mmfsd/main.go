@@ -38,6 +38,9 @@ func main() {
 		scenario  = flag.String("fault-scenario", "off", "fault-injection scenario (e.g. \"seed=42,readerr=0.02,slow=0.05x4,bad=100+50\"); \"off\" disables")
 		connTO    = flag.Duration("conn-timeout", 0, "per-connection idle read and response write deadline (0 disables)")
 		maxConns  = flag.Int("max-conns", 0, "max concurrent client connections; excess are refused with a busy error (0 = unlimited)")
+		disks     = flag.Int("disks", 1, "independent spindles p; >1 stripes strands across a disk array with one concurrent sub-round and per-spindle admission each round")
+		stripe    = flag.Int("stripe", 0, "striping unit in cylinders (must divide -cylinders); 0 picks cylinders/10")
+		faultSp   = flag.Int("fault-spindle", 0, "spindle the fault scenario wraps when -disks > 1 (single-spindle degradation)")
 	)
 	flag.Parse()
 
@@ -56,13 +59,21 @@ func main() {
 		MaxSeek:         30 * time.Millisecond,
 		Heads:           *heads,
 	}
-	fs, err := core.Format(core.Options{Geometry: g, TargetCylinders: *target, CacheMB: *cachemb, Fault: sc})
+	fs, err := core.Format(core.Options{
+		Geometry: g, TargetCylinders: *target, CacheMB: *cachemb, Fault: sc,
+		Disks: *disks, Stripe: *stripe, FaultSpindle: *faultSp,
+	})
 	if err != nil {
 		log.Fatalf("mmfsd: format: %v", err)
 	}
 	dev := fs.Device()
+	lg := fs.Disk().Geometry()
 	fmt.Printf("mmfsd: %d MB disk, r_dt %.1f Mbit/s, l_max_seek %.1f ms, placement ≤ %d cylinders\n",
-		g.CapacityBytes()>>20, dev.TransferRate/1e6, dev.MaxAccess*1000, *target)
+		lg.CapacityBytes()>>20, dev.TransferRate/1e6, dev.MaxAccess*1000, *target)
+	if a := fs.Array(); a != nil {
+		fmt.Printf("mmfsd: %d-spindle striped array, stripe %d cylinders (admission per spindle: up to %d× the single-disk population)\n",
+			a.Spindles(), a.StripeCylinders(), a.Spindles())
+	}
 	if *cachemb > 0 {
 		fmt.Printf("mmfsd: interval cache %d MiB (trailing plays of a rope are served from memory)\n", *cachemb)
 	}

@@ -70,9 +70,13 @@ func AVSlack(layout AVLayout, qv int, video Media, qa int, audio Media, lds floa
 }
 
 // AVFeasible reports whether the mixed audio+video continuity
-// requirement holds.
+// requirement holds. The comparison carries a picosecond tolerance:
+// AVMaxScattering solves the linear slack equation by division and
+// AVSlack re-multiplies, so the solved bound can land a few ULPs below
+// exact zero slack without being infeasible in any physical sense.
 func AVFeasible(layout AVLayout, qv int, video Media, qa int, audio Media, lds float64, d Device) bool {
-	return AVSlack(layout, qv, video, qa, audio, lds, d) >= 0
+	const eps = 1e-12 // seconds
+	return AVSlack(layout, qv, video, qa, audio, lds, d) >= -eps
 }
 
 // AVMaxScattering solves the mixed-media continuity equation for the

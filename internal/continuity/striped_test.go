@@ -1,0 +1,103 @@
+package continuity
+
+import "testing"
+
+func TestStripedNMaxAggregate(t *testing.T) {
+	a := AdmissionFor(testDevice())
+	tmpl := videoRequest()
+	single := a.NMax(tmpl)
+	for _, p := range []int{1, 2, 4} {
+		s := Striped{A: a, P: p}
+		if got := s.NMax(tmpl); got != p*single {
+			t.Fatalf("p=%d: aggregate n_max = %d, want %d", p, got, p*single)
+		}
+	}
+}
+
+func TestStripedAdmitPerSpindle(t *testing.T) {
+	a := AdmissionFor(testDevice())
+	tmpl := videoRequest()
+	nmax := a.NMax(tmpl)
+	s := Striped{A: a, P: 2}
+
+	// Spindle 0 saturated, spindle 1 empty: a candidate homed on
+	// spindle 1 is admitted, one homed on spindle 0 is refused.
+	sets := [][]Request{repeatReq(tmpl, nmax), nil}
+	if d := s.Admit(sets, 1, 1, tmpl); !d.Admitted {
+		t.Fatalf("empty spindle refused: %s", d.Reason)
+	}
+	if d := s.Admit(sets, 0, 1, tmpl); d.Admitted {
+		t.Fatal("saturated spindle admitted past n_max")
+	}
+	// Unknown placement must fit on every spindle: refused while one
+	// spindle is saturated, admitted when both have room.
+	if d := s.Admit(sets, -1, 1, tmpl); d.Admitted {
+		t.Fatal("unknown placement admitted despite a saturated spindle")
+	}
+	balanced := [][]Request{repeatReq(tmpl, nmax-1), repeatReq(tmpl, nmax-2)}
+	d := s.Admit(balanced, -1, 1, tmpl)
+	if !d.Admitted {
+		t.Fatalf("unknown placement refused with room everywhere: %s", d.Reason)
+	}
+	// The global K is the max of the per-spindle solutions — here the
+	// fuller spindle 0 dominates — and Steps walk from kOld to K.
+	d0 := a.Admit(balanced[0], 1, tmpl)
+	d1 := a.Admit(balanced[1], 1, tmpl)
+	want := d0.K
+	if d1.K > want {
+		want = d1.K
+	}
+	if d.K != want {
+		t.Fatalf("global K = %d, want max(per-spindle) = %d", d.K, want)
+	}
+	if len(d.Steps) > 0 && d.Steps[len(d.Steps)-1] != d.K {
+		t.Fatalf("steps end at %d, want %d", d.Steps[len(d.Steps)-1], d.K)
+	}
+	if d := s.Admit(sets, 2, 1, tmpl); d.Admitted || d.Reason == "" {
+		t.Fatal("out-of-range spindle index accepted")
+	}
+}
+
+// TestStripedKMonotone pins the property the shared-k design relies
+// on: a set feasible at k stays feasible at every larger k, so raising
+// the global k for one spindle cannot break another.
+func TestStripedKMonotone(t *testing.T) {
+	a := AdmissionFor(testDevice())
+	tmpl := videoRequest()
+	nmax := a.NMax(tmpl)
+	set := repeatReq(tmpl, nmax)
+	k, ok := a.KTransient(set)
+	if !ok {
+		t.Fatal("n_max set infeasible")
+	}
+	for dk := 0; dk <= 16; dk++ {
+		if a.SlackSeconds(set, k+dk) < 0 {
+			t.Fatalf("slack negative at k=%d", k+dk)
+		}
+	}
+}
+
+func TestStripedSlackPerSpindle(t *testing.T) {
+	a := AdmissionFor(testDevice())
+	tmpl := videoRequest()
+	s := Striped{A: a, P: 2}
+	sets := [][]Request{repeatReq(tmpl, 2), repeatReq(tmpl, 4)}
+	k, ok := a.KTransient(sets[1])
+	if !ok {
+		t.Fatal("set infeasible")
+	}
+	var scratch []float64
+	got := s.SlackPerSpindle(scratch, sets, k)
+	if len(got) != 2 {
+		t.Fatalf("%d entries, want 2", len(got))
+	}
+	// The lighter spindle has more slack left in the same round.
+	if got[0] <= got[1] {
+		t.Fatalf("slack on 2 streams (%g) not above slack on 4 (%g)", got[0], got[1])
+	}
+	for sp, sl := range got {
+		if want := a.SlackSeconds(sets[sp], k); sl != want {
+			t.Fatalf("spindle %d slack %g, want %g", sp, sl, want)
+		}
+	}
+}

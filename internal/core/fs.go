@@ -66,6 +66,24 @@ type Options struct {
 	// FaultPolicy overrides the storage manager's fault-tolerant
 	// service policy; nil uses msm.DefaultFaultPolicy.
 	FaultPolicy *msm.FaultPolicy
+	// Disks is the number of independent spindles (the paper's degree
+	// of concurrency p). Values above 1 build a striped disk.Array of
+	// identical spindles — Geometry describes one spindle — and the
+	// storage manager services one concurrent sub-round per spindle
+	// with per-spindle admission control. 0 and 1 mean a single disk.
+	Disks int
+	// Stripe is the striping unit in cylinders: runs of Stripe
+	// consecutive logical cylinders (stripe groups) are dealt
+	// round-robin across the spindles, so a placement-constrained
+	// strand stays on one spindle while distinct strands spread. Must
+	// divide Geometry.Cylinders. 0 picks Cylinders/10 when that
+	// divides evenly, else 1. Ignored for a single disk.
+	Stripe int
+	// FaultSpindle selects which spindle of an array the Fault
+	// scenario wraps (a one-degraded-spindle experiment: only streams
+	// resident there degrade). Out-of-range values clamp to 0. With a
+	// single disk the scenario wraps the whole media path as before.
+	FaultSpindle int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,13 +102,27 @@ func (o Options) withDefaults() Options {
 	if o.AudioDeviceBufferUnits == 0 {
 		o.AudioDeviceBufferUnits = 8
 	}
+	if o.Disks < 1 {
+		o.Disks = 1
+	}
+	if o.Disks > 1 && o.Stripe == 0 {
+		o.Stripe = o.Geometry.Cylinders / 10
+		if o.Stripe == 0 || o.Geometry.Cylinders%o.Stripe != 0 {
+			o.Stripe = 1
+		}
+	}
+	if o.FaultSpindle < 0 || o.FaultSpindle >= o.Disks {
+		o.FaultSpindle = 0
+	}
 	return o
 }
 
 // FS is a mounted multimedia file system.
 type FS struct {
 	opts Options
-	d    *disk.Disk
+	// d is the metadata/identity store: a single simulated disk, or a
+	// striped disk.Array when Options.Disks > 1.
+	d disk.Store
 	// mdev is the media-path device the strand layer, plan compilers,
 	// and storage manager use: the raw disk, or the fault-injection
 	// wrapper when a scenario is active. Metadata always uses d.
@@ -126,10 +158,36 @@ type FS struct {
 	nextStart int
 }
 
-// Format creates a fresh file system on a new simulated disk.
+// newStore builds the option-selected disk substrate: a single
+// simulated disk, or a striped array of Disks identical spindles.
+// With an active fault scenario an array wraps only spindle
+// FaultSpindle, so one degraded spindle degrades only the streams
+// resident on it; the single-disk path wraps the whole media path in
+// build, as before.
+func newStore(opts Options) (disk.Store, error) {
+	if opts.Disks <= 1 {
+		return disk.New(opts.Geometry)
+	}
+	devs := make([]disk.Device, opts.Disks)
+	for i := range devs {
+		d, err := disk.New(opts.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Fault.Active() && i == opts.FaultSpindle {
+			devs[i] = fault.New(d, opts.Fault)
+		} else {
+			devs[i] = d
+		}
+	}
+	return disk.NewArray(devs, opts.Stripe)
+}
+
+// Format creates a fresh file system on a new simulated disk (or
+// striped array, when Options.Disks > 1).
 func Format(opts Options) (*FS, error) {
 	opts = opts.withDefaults()
-	d, err := disk.New(opts.Geometry)
+	d, err := newStore(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -150,8 +208,8 @@ func Format(opts Options) (*FS, error) {
 	return fs, nil
 }
 
-// build wires the subsystems over an existing disk and allocator.
-func build(opts Options, d *disk.Disk, a *alloc.Allocator) *FS {
+// build wires the subsystems over an existing store and allocator.
+func build(opts Options, d disk.Store, a *alloc.Allocator) *FS {
 	g := d.Geometry()
 	dev := continuity.Device{
 		TransferRate: g.TransferRateBits(),
@@ -160,9 +218,20 @@ func build(opts Options, d *disk.Disk, a *alloc.Allocator) *FS {
 	}
 	var mdev disk.Device = d
 	var fd *fault.Disk
-	if opts.Fault.Active() {
-		fd = fault.New(d, opts.Fault)
-		mdev = fd
+	if arr, ok := d.(*disk.Array); ok {
+		// An array carries its fault wrapper inside (newStore wraps one
+		// spindle); recover the handle for FaultDisk and obs wiring.
+		for i := 0; i < arr.Spindles(); i++ {
+			if w, ok := arr.Spindle(i).(*fault.Disk); ok {
+				fd = w
+				break
+			}
+		}
+	} else if opts.Fault.Active() {
+		if dd, ok := d.(*disk.Disk); ok {
+			fd = fault.New(dd, opts.Fault)
+			mdev = fd
+		}
 	}
 	ss := strand.NewStore(mdev, a)
 	in := gc.New()
@@ -219,8 +288,9 @@ func (fs *FS) Metrics() *obs.Registry { return fs.obsReg }
 // Trace returns the service-round trace ring.
 func (fs *FS) Trace() *obs.TraceRing { return fs.obsRing }
 
-// Open mounts a previously formatted file system from its disk.
-func Open(d *disk.Disk, opts Options) (*FS, error) {
+// Open mounts a previously formatted file system from its disk (or
+// array; the caller reconstructs the array around its spindles).
+func Open(d disk.Store, opts Options) (*FS, error) {
 	opts = opts.withDefaults()
 	opts.Geometry = d.Geometry()
 	g := d.Geometry()
@@ -359,8 +429,17 @@ func (fs *FS) Sync() error {
 // lives in the gaps between media blocks.
 func (fs *FS) Text() *textfs.Store { return fs.text }
 
-// Disk exposes the underlying disk.
-func (fs *FS) Disk() *disk.Disk { return fs.d }
+// Disk exposes the underlying store: the single simulated disk, or
+// the striped array when the file system was formatted with Disks > 1.
+func (fs *FS) Disk() disk.Store { return fs.d }
+
+// Array exposes the striped array, nil on a single-disk system.
+func (fs *FS) Array() *disk.Array {
+	if a, ok := fs.d.(*disk.Array); ok {
+		return a
+	}
+	return nil
+}
 
 // MediaDevice exposes the media-path device: the raw disk, or the
 // fault-injection wrapper when Options.Fault is active. Plan

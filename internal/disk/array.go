@@ -1,0 +1,372 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"mmfs/internal/obs"
+)
+
+// Array is a Device composed of p underlying spindles with the strand
+// media blocks striped across them, the substrate for the paper's
+// concurrent retrieval architecture of degree p (§3.1). Each spindle is
+// an independent Device — typically a *Disk, optionally wrapped in an
+// internal/fault scenario so one degraded spindle degrades only the
+// streams striped onto it.
+//
+// Striping is by cylinder group: the array exposes a logical geometry
+// identical to one spindle's but with p times the cylinders, and
+// logical cylinders are dealt to spindles in runs of StripeCylinders()
+// ("groups") round-robin. Consecutive groups assigned to the same
+// spindle are physically adjacent there, so a strand laid out by
+// constrained allocation on the logical geometry advances each spindle's
+// head ~one local cylinder per block it stores on that spindle — the
+// per-spindle scattering bound survives striping.
+//
+// An access that stays inside one group costs exactly what the owning
+// spindle charges. Accesses crossing a group boundary are split into
+// per-group spans and charge the sum of the span times (a sequential
+// hand-off); the storage manager keeps such accesses off the parallel
+// lanes, so only metadata and the rare boundary-crossing run pays it.
+//
+// Like *Disk, an Array is not safe for arbitrary concurrent use — but
+// accesses routed to distinct spindles touch disjoint state, which is
+// precisely the discipline the MSM's per-spindle round lanes follow.
+type Array struct {
+	spindles []Device
+	phys     Geometry // one spindle's geometry
+	logical  Geometry // what the array advertises: p× the cylinders
+	sc       int      // stripe unit in cylinders
+	spc      int      // sectors per cylinder (same on every spindle)
+	groupSec int      // sectors per stripe group: sc * spc
+}
+
+var _ Device = (*Array)(nil)
+var _ Store = (*Array)(nil)
+
+// NewArray builds an array over the given spindles with a stripe unit
+// of stripeCylinders. All spindles must share one geometry, and the
+// stripe unit must divide the per-spindle cylinder count so that every
+// group is whole.
+func NewArray(spindles []Device, stripeCylinders int) (*Array, error) {
+	if len(spindles) < 1 {
+		return nil, fmt.Errorf("disk: array needs at least 1 spindle")
+	}
+	phys := spindles[0].Geometry()
+	for i, sp := range spindles[1:] {
+		g := sp.Geometry()
+		g.Heads = phys.Heads
+		if g != phys {
+			return nil, fmt.Errorf("disk: spindle %d geometry differs from spindle 0", i+1)
+		}
+	}
+	if stripeCylinders < 1 {
+		return nil, fmt.Errorf("disk: stripe unit must be >= 1 cylinder, have %d", stripeCylinders)
+	}
+	if phys.Cylinders%stripeCylinders != 0 {
+		return nil, fmt.Errorf("disk: stripe unit %d does not divide %d cylinders per spindle",
+			stripeCylinders, phys.Cylinders)
+	}
+	logical := phys
+	logical.Cylinders = phys.Cylinders * len(spindles)
+	logical.Heads = len(spindles)
+	return &Array{
+		spindles: spindles,
+		phys:     phys,
+		logical:  logical,
+		sc:       stripeCylinders,
+		spc:      phys.SectorsPerCylinder(),
+		groupSec: stripeCylinders * phys.SectorsPerCylinder(),
+	}, nil
+}
+
+// MustNewArray is NewArray but panics on invalid configuration; for
+// tests and fixed experiment setups.
+func MustNewArray(spindles []Device, stripeCylinders int) *Array {
+	a, err := NewArray(spindles, stripeCylinders)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Geometry returns the array's logical geometry: one spindle's shape
+// with Cylinders multiplied by the spindle count and Heads = p. Its
+// MaxAccessTime and TransferRateBits equal a single spindle's, which is
+// what makes the per-spindle continuity equations read straight off it.
+func (a *Array) Geometry() Geometry { return a.logical }
+
+// Heads reports the degree of concurrency p: one independent actuator
+// per spindle.
+func (a *Array) Heads() int { return len(a.spindles) }
+
+// Spindles reports the number of spindles p.
+func (a *Array) Spindles() int { return len(a.spindles) }
+
+// Spindle returns spindle i's device; the MSM's per-spindle lanes
+// address their spindle through it.
+func (a *Array) Spindle(i int) Device { return a.spindles[i] }
+
+// StripeCylinders reports the stripe unit in logical cylinders.
+func (a *Array) StripeCylinders() int { return a.sc }
+
+// Locate maps a logical sector address to (spindle, local address on
+// that spindle).
+//
+// rt:hotpath
+func (a *Array) Locate(lba int) (spindle, local int) {
+	cyl := lba / a.spc
+	off := lba % a.spc
+	group := cyl / a.sc
+	inGroup := cyl % a.sc
+	p := len(a.spindles)
+	localCyl := (group/p)*a.sc + inGroup
+	return group % p, localCyl*a.spc + off
+}
+
+// ToLogical maps a spindle-local sector address back to the logical
+// address space; it inverts Locate.
+func (a *Array) ToLogical(spindle, local int) int {
+	cyl := local / a.spc
+	off := local % a.spc
+	localGroup := cyl / a.sc
+	inGroup := cyl % a.sc
+	group := localGroup*len(a.spindles) + spindle
+	return (group*a.sc+inGroup)*a.spc + off
+}
+
+// SpindleOf reports the spindle owning the logical sector address.
+func (a *Array) SpindleOf(lba int) int {
+	sp, _ := a.Locate(lba)
+	return sp
+}
+
+// SpindleRange reports the spindle that can service the whole access
+// [lba, lba+n) on its own, or ok=false when the access crosses a stripe
+// group boundary and must be split across spindles. The MSM uses it to
+// decide whether a request's next blocks belong on a parallel lane.
+//
+// rt:hotpath
+func (a *Array) SpindleRange(lba, n int) (spindle int, ok bool) {
+	first := lba / a.groupSec
+	last := first
+	if n > 1 {
+		last = (lba + n - 1) / a.groupSec
+	}
+	return first % len(a.spindles), first == last
+}
+
+// HeadCylinder reports the logical cylinder under spindle h's actuator.
+func (a *Array) HeadCylinder(h int) int {
+	localCyl := a.spindles[h].HeadCylinder(0)
+	localGroup := localCyl / a.sc
+	inGroup := localCyl % a.sc
+	return (localGroup*len(a.spindles)+h)*a.sc + inGroup
+}
+
+// Stats returns the sum of every spindle's counters; BusyTime() over it
+// is aggregate spindle-busy time, not wall time (p spindles working in
+// parallel accumulate p seconds of busy time per second of round).
+func (a *Array) Stats() Stats {
+	var sum Stats
+	for _, sp := range a.spindles {
+		s := sp.Stats()
+		sum.Reads += s.Reads
+		sum.Writes += s.Writes
+		sum.SectorsRead += s.SectorsRead
+		sum.SectorsWritten += s.SectorsWritten
+		sum.Seeks += s.Seeks
+		sum.SeekTime += s.SeekTime
+		sum.RotationTime += s.RotationTime
+		sum.TransferTime += s.TransferTime
+	}
+	return sum
+}
+
+func (a *Array) checkRange(lba, n int) error {
+	if n < 0 || lba < 0 || lba+n > a.logical.TotalSectors() {
+		//lint:ignore allocpath range errors abort the access; the error path is cold
+		return fmt.Errorf("disk: array access [%d,%d) outside %d sectors", lba, lba+n, a.logical.TotalSectors())
+	}
+	return nil
+}
+
+// span is one group-contained slice of an access: count sectors at
+// local on spindle sp, covering the caller's sectors [done, done+count).
+func (a *Array) spanAt(lba, n, done int) (sp, local, count int) {
+	cur := lba + done
+	sp, local = a.Locate(cur)
+	count = a.groupSec - cur%a.groupSec
+	if count > n-done {
+		count = n - done
+	}
+	return sp, local, count
+}
+
+// ReadInto is the allocation-free timed read: data lands in dst (at
+// least n sectors long), and the returned service time is the owning
+// spindle's charge — or, for a boundary-crossing access, the sum of the
+// per-span charges.
+//
+// rt:hotpath
+func (a *Array) ReadInto(h, lba, n int, dst []byte) (time.Duration, error) {
+	if err := a.checkRange(lba, n); err != nil {
+		return 0, err
+	}
+	ss := a.logical.SectorSize
+	var total time.Duration
+	for done := 0; done < n; {
+		sp, local, count := a.spanAt(lba, n, done)
+		t, err := a.spindles[sp].ReadInto(0, local, count, dst[done*ss:(done+count)*ss])
+		if err != nil {
+			return 0, err
+		}
+		total += t
+		done += count
+	}
+	return total, nil
+}
+
+// Read performs a timed read of n sectors at the logical address,
+// allocating the buffer. See ReadInto for the timing model.
+func (a *Array) Read(h, lba, n int) ([]byte, time.Duration, error) {
+	if err := a.checkRange(lba, n); err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, n*a.logical.SectorSize)
+	t, err := a.ReadInto(h, lba, n, buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return buf, t, nil
+}
+
+// ReadContiguous performs a timed read continuing the owning spindle's
+// previous transfer: each span charges only transfer time.
+func (a *Array) ReadContiguous(h, lba, n int) ([]byte, time.Duration, error) {
+	if err := a.checkRange(lba, n); err != nil {
+		return nil, 0, err
+	}
+	ss := a.logical.SectorSize
+	buf := make([]byte, n*ss)
+	var total time.Duration
+	for done := 0; done < n; {
+		sp, local, count := a.spanAt(lba, n, done)
+		b, t, err := a.spindles[sp].ReadContiguous(0, local, count)
+		if err != nil {
+			return nil, 0, err
+		}
+		copy(buf[done*ss:], b)
+		total += t
+		done += count
+	}
+	return buf, total, nil
+}
+
+// Write performs a timed write at the logical address; spans charge the
+// owning spindles and the total is their sum.
+func (a *Array) Write(h, lba int, data []byte) (time.Duration, error) {
+	ss := a.logical.SectorSize
+	n := (len(data) + ss - 1) / ss
+	if err := a.checkRange(lba, n); err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for done := 0; done < n; {
+		sp, local, count := a.spanAt(lba, n, done)
+		hi := (done + count) * ss
+		if hi > len(data) {
+			hi = len(data)
+		}
+		t, err := a.spindles[sp].Write(0, local, data[done*ss:hi])
+		if err != nil {
+			return 0, err
+		}
+		total += t
+		done += count
+	}
+	return total, nil
+}
+
+// PeekServiceTime estimates the access cost without moving heads or
+// touching statistics.
+func (a *Array) PeekServiceTime(h, lba, n int) time.Duration {
+	var total time.Duration
+	for done := 0; done < n; {
+		sp, local, count := a.spanAt(lba, n, done)
+		total += a.spindles[sp].PeekServiceTime(0, local, count)
+		done += count
+	}
+	return total
+}
+
+// ReadAt copies n sectors at the logical address without charging time.
+func (a *Array) ReadAt(lba, n int) ([]byte, error) {
+	if err := a.checkRange(lba, n); err != nil {
+		return nil, err
+	}
+	ss := a.logical.SectorSize
+	buf := make([]byte, n*ss)
+	for done := 0; done < n; {
+		sp, local, count := a.spanAt(lba, n, done)
+		b, err := a.spindles[sp].ReadAt(local, count)
+		if err != nil {
+			return nil, err
+		}
+		copy(buf[done*ss:], b)
+		done += count
+	}
+	return buf, nil
+}
+
+// WriteAt stores data at the logical address without charging time.
+func (a *Array) WriteAt(lba int, data []byte) error {
+	ss := a.logical.SectorSize
+	n := (len(data) + ss - 1) / ss
+	if err := a.checkRange(lba, n); err != nil {
+		return err
+	}
+	for done := 0; done < n; {
+		sp, local, count := a.spanAt(lba, n, done)
+		hi := (done + count) * ss
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if err := a.spindles[sp].WriteAt(local, data[done*ss:hi]); err != nil {
+			return err
+		}
+		done += count
+	}
+	return nil
+}
+
+// ResetStats clears every spindle's counters (where the spindle
+// supports it; fault-wrapped spindles forward to their base disk).
+func (a *Array) ResetStats() {
+	for _, sp := range a.spindles {
+		if r, ok := sp.(interface{ ResetStats() }); ok {
+			r.ResetStats()
+		}
+	}
+}
+
+// SetReadLatencyHistogram installs the read-latency histogram on every
+// spindle that supports instrumentation, so the array's reads land in
+// one mmfs_disk_read_seconds series.
+func (a *Array) SetReadLatencyHistogram(h *obs.Histogram) {
+	for _, sp := range a.spindles {
+		if s, ok := sp.(interface{ SetReadLatencyHistogram(*obs.Histogram) }); ok {
+			s.SetReadLatencyHistogram(h)
+		}
+	}
+}
+
+// SetWriteLatencyHistogram mirrors SetReadLatencyHistogram for the
+// timed write path.
+func (a *Array) SetWriteLatencyHistogram(h *obs.Histogram) {
+	for _, sp := range a.spindles {
+		if s, ok := sp.(interface{ SetWriteLatencyHistogram(*obs.Histogram) }); ok {
+			s.SetWriteLatencyHistogram(h)
+		}
+	}
+}

@@ -47,6 +47,16 @@ type Device interface {
 	WriteAt(lba int, data []byte) error
 }
 
+// Store is the whole-filesystem disk surface: the media-path Device
+// plus the maintenance hooks core.FS needs to run over either a single
+// *Disk or a striped *Array without caring which it has.
+type Store interface {
+	Device
+	ResetStats()
+	SetReadLatencyHistogram(*obs.Histogram)
+	SetWriteLatencyHistogram(*obs.Histogram)
+}
+
 // headState tracks one independent actuator.
 type headState struct {
 	cylinder int
@@ -76,6 +86,7 @@ type Disk struct {
 }
 
 var _ Device = (*Disk)(nil)
+var _ Store = (*Disk)(nil)
 
 // New creates a zero-filled disk with the given geometry.
 func New(g Geometry) (*Disk, error) {

@@ -35,7 +35,7 @@ func TestRenderProducesTable(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft"} {
+	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft", "stripe"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("experiment %q unknown", id)
 		}
@@ -412,5 +412,49 @@ func TestFaultTolerance(t *testing.T) {
 		if cellInt(t, row[4]) == 0 {
 			t.Fatalf("%s: storm injected no faults", row[0])
 		}
+	}
+}
+
+func TestStripedScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-spindle simulation sweep")
+	}
+	res := Stripe()
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	// Columns: config, n_max/sp, streams, admitted, completed, late viol, degraded, stops.
+	nmax := cellInt(t, res.Rows[0][1])
+	if nmax < 2 {
+		t.Fatalf("single-spindle n_max = %d; geometry too tight", nmax)
+	}
+	for i, p := range []int{1, 2, 4} {
+		row := res.Rows[i]
+		streams, admitted, completed := cellInt(t, row[2]), cellInt(t, row[3]), cellInt(t, row[4])
+		if streams != p*nmax {
+			t.Fatalf("%s: offered %d streams, want p·n_max = %d", row[0], streams, p*nmax)
+		}
+		if admitted != streams {
+			t.Fatalf("%s: admitted %d of %d — per-spindle admission lost capacity", row[0], admitted, streams)
+		}
+		if completed != streams {
+			t.Fatalf("%s: completed %d of %d", row[0], completed, streams)
+		}
+		if late := cellInt(t, row[5]); late != 0 {
+			t.Fatalf("%s: %d continuity violations at p·n_max", row[0], late)
+		}
+		if deg := cellInt(t, row[6]); deg != 0 {
+			t.Fatalf("%s: %d degraded blocks with no faults injected", row[0], deg)
+		}
+	}
+	chaos := res.Rows[3]
+	if late := cellInt(t, chaos[5]); late != 0 {
+		t.Fatalf("chaos: %d violations on healthy spindles", late)
+	}
+	if deg := cellInt(t, chaos[6]); deg == 0 {
+		t.Fatal("chaos: dead spindle produced no degraded blocks")
+	}
+	if stops := cellInt(t, chaos[7]); stops == 0 {
+		t.Fatal("chaos: all-degraded stream never escalated to a stop")
 	}
 }

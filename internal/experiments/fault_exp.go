@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mmfs/internal/continuity"
+	"mmfs/internal/disk"
 	"mmfs/internal/fault"
 	"mmfs/internal/msm"
 	"mmfs/internal/strand"
@@ -68,7 +69,7 @@ func FaultTolerance() Result {
 		} else if sc, err = fault.ParseScenario(row.spec); err != nil {
 			panic(err)
 		}
-		fd := fault.New(r.fs.Disk(), sc)
+		fd := fault.New(r.fs.Disk().(*disk.Disk), sc)
 		mgr := msm.New(fd, adm)
 		// Forced k with no stepwise transitions: the whole population
 		// is admitted at virtual time zero, exactly at the Eq. 18

@@ -1,0 +1,765 @@
+package msm
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"mmfs/internal/alloc"
+	"mmfs/internal/cache"
+	"mmfs/internal/continuity"
+	"mmfs/internal/fault"
+	"mmfs/internal/sim"
+)
+
+// This file implements the paper's concurrent retrieval architecture
+// (§3.1, degree p) inside the service round: over a disk.Array the
+// round splits into one sub-round per spindle, serviced concurrently by
+// per-spindle lanes and joined before the round closes. Each lane owns
+// its spindle exclusively for the round — its requests' next blocks all
+// live on that spindle — runs its own C-SCAN sweep over the spindle's
+// local cylinders, charges service time to a private virtual-time
+// cursor, and spends a private Eq. 18 retry-slack budget computed over
+// the spindle-resident admission set. After the join the manager's
+// clock advances to the slowest lane's cursor (the sub-rounds overlap
+// in virtual time), lane counters merge in spindle order so totals stay
+// deterministic, and whatever could not be parallelized — records,
+// cache-coupled plays, boundary-crossing fetches — is serviced serially
+// at the joined clock.
+//
+// Shared state discipline: during the parallel phase a lane touches
+// only (a) its own scratch arenas, (b) its requests' private state, (c)
+// its spindle's device state via array routing, and (d) the atomic obs
+// counters. The interval cache is NOT thread-safe, so any request with
+// an open cache stream is kept off the lanes and serviced in the serial
+// phase.
+
+// laneStats accumulates a lane's contribution to the manager counters;
+// the manager merges them after the join (Stats itself is not safe for
+// concurrent writes).
+type laneStats struct {
+	blocksFetched  uint64
+	blocksWritten  uint64
+	silenceBlocks  uint64
+	cacheHits      uint64
+	retries        uint64
+	degradedBlocks uint64
+	faultStops     uint64
+	violations     uint64
+}
+
+// lane is one spindle's service context. The manager also keeps one
+// "serial" lane (spindle -1) whose time writes through to the shared
+// clock; it services single-disk rounds and the striped round's serial
+// phase, so every request is serviced by lane code either way.
+type lane struct {
+	m *Manager
+	// spindle is the lane's spindle index, -1 for the serial lane.
+	spindle int
+	// clk, when set, makes now/advance write through to the manager's
+	// clock (the serial lane). Parallel lanes advance the private
+	// cursor at; the manager joins the cursors into the clock.
+	clk *sim.Clock
+	at  time.Duration
+	// retrySlack is the lane's round retry budget: Eq. 18's measured
+	// slack over the spindle-resident admission set.
+	retrySlack time.Duration
+	// Per-lane scratch arenas (the satellite fix: round scratch was
+	// manager-global, which parallel sub-rounds would race on).
+	reqs     []*request
+	admSet   []continuity.Request
+	deg      []bool
+	blockBuf []byte
+	sorter   scanSorter
+	// local spindle shape, cached so the sweep does not re-derive it
+	// per round.
+	spc  int // sectors per local cylinder
+	cyls int // local cylinders
+	// runFn is the pre-bound method value spawned each round: `go
+	// ln.run()` would wrap the receiver in a fresh one-shot closure
+	// (one heap allocation per lane per round); `go ln.runFn()` spawns
+	// the funcval bound once at construction.
+	runFn func()
+	// worked reports whether any request transferred this round.
+	worked bool
+	stats  laneStats
+}
+
+func (ln *lane) now() time.Duration {
+	if ln.clk != nil {
+		return ln.clk.Now()
+	}
+	return ln.at
+}
+
+func (ln *lane) advance(d time.Duration) {
+	if ln.clk != nil {
+		ln.clk.Advance(d)
+		return
+	}
+	ln.at += d
+}
+
+// flushStats merges the lane's counters into the manager's and resets
+// them; called after the join, in spindle order.
+func (ln *lane) flushStats() {
+	s := &ln.m.stats
+	s.BlocksFetched += ln.stats.blocksFetched
+	s.BlocksWritten += ln.stats.blocksWritten
+	s.SilenceBlocks += ln.stats.silenceBlocks
+	s.CacheHits += ln.stats.cacheHits
+	s.Retries += ln.stats.retries
+	s.DegradedBlocks += ln.stats.degradedBlocks
+	s.FaultStops += ln.stats.faultStops
+	s.Violations += ln.stats.violations
+	ln.stats = laneStats{}
+}
+
+// run services the lane's sub-round: a C-SCAN sweep over the spindle's
+// requests, k blocks each. It is the body of the per-spindle round
+// goroutine; the manager joins every lane through laneWG before the
+// round closes.
+//
+// rt:hotpath
+func (ln *lane) run() {
+	defer ln.m.laneWG.Done()
+	if ln.m.order == ScanOrder {
+		ln.scanSort()
+	}
+	for _, r := range ln.reqs {
+		// Partition invariant: lane requests are disk-bound plays with
+		// no open cache stream, so servicePlay never touches the
+		// (single-threaded) interval cache here.
+		if ln.servicePlay(r, ln.m.k) {
+			ln.worked = true
+		}
+	}
+}
+
+// scanSort orders the lane's requests as a C-SCAN sweep over the
+// spindle's local cylinders, starting from its actuator's position.
+//
+// rt:hotpath
+func (ln *lane) scanSort() {
+	head := ln.m.array.Spindle(ln.spindle).HeadCylinder(0)
+	nc := ln.cyls
+	keys := ln.sorter.keys[:0]
+	for _, r := range ln.reqs {
+		k := 2 * nc // after every positioned request
+		if cyl, ok := ln.nextLocalCylinder(r); ok {
+			k = cyl - head
+			if k < 0 {
+				k += nc
+			}
+		}
+		keys = alloc.Append(keys, k)
+	}
+	ln.sorter.keys = keys
+	if len(ln.reqs) <= 16 {
+		for i := 1; i < len(ln.reqs); i++ {
+			k, r := keys[i], ln.reqs[i]
+			j := i - 1
+			for j >= 0 && keys[j] > k {
+				keys[j+1], ln.reqs[j+1] = keys[j], ln.reqs[j]
+				j--
+			}
+			keys[j+1], ln.reqs[j+1] = k, r
+		}
+		return
+	}
+	ln.sorter.reqs = ln.reqs
+	sort.Stable(&ln.sorter)
+	ln.sorter.reqs = nil
+}
+
+// nextLocalCylinder reports the spindle-local cylinder of the request's
+// next transfer; ok is false when it cannot be known.
+func (ln *lane) nextLocalCylinder(r *request) (int, bool) {
+	ps := r.play
+	for j := ps.nextFetch; j < len(ps.plan.Blocks); j++ {
+		b := ps.plan.Blocks[j]
+		if b.Reader == nil {
+			continue
+		}
+		e, err := b.Reader.Strand().Block(b.Index)
+		if err != nil || e.Silent() {
+			continue
+		}
+		_, local := ln.m.array.Locate(int(e.Sector))
+		return local / ln.spc, true
+	}
+	return 0, false
+}
+
+// serviceRequest transfers up to k blocks for the request; reports
+// whether any work happened.
+//
+// rt:hotpath
+func (ln *lane) serviceRequest(r *request, k int) bool {
+	switch {
+	case r.kind == Play && r.cacheServed:
+		return ln.serviceCached(r, k)
+	case r.kind == Play:
+		return ln.servicePlay(r, k)
+	default:
+		return ln.serviceRecord(r, k)
+	}
+}
+
+// serviceCached serves a cache-served follower: blocks come from the
+// interval cache at zero disk time (silence blocks are regenerated
+// directly from the strand, also free). Display-buffer regulation and
+// deadline bookkeeping are identical to the disk path. A Wait (the
+// leader has not produced the block yet) simply ends this request's
+// turn; a Miss marks the interval broken and the demotion runs at the
+// top of the next round. Cache-served requests only ever reach the
+// serial lane.
+func (ln *lane) serviceCached(r *request, k int) bool {
+	m := ln.m
+	ps := r.play
+	id := uint64(r.id)
+	served := 0
+	for served < k {
+		if ps.nextFetch >= len(ps.plan.Blocks) {
+			break
+		}
+		if ps.started && ps.occupancyAt(ln.now()) >= ps.plan.Buffers {
+			break // regulation: never overflow the display subsystem
+		}
+		b := ps.plan.Blocks[ps.nextFetch]
+		e, err := b.Reader.Strand().Block(b.Index)
+		if err != nil {
+			ln.violate(&ps.violations, Violation{Block: ps.nextFetch, Deadline: ln.now(), Actual: ln.now()})
+			r.done = true
+			m.closeCacheStream(r)
+			return true
+		}
+		if e.Silent() {
+			// Silence blocks cost no disk time on the disk path
+			// either; regenerate directly and advance the position.
+			if _, _, _, rerr := b.Reader.ReadBlockInto(0, b.Index, &ln.blockBuf); rerr != nil {
+				ln.violate(&ps.violations, Violation{Block: ps.nextFetch, Deadline: ln.now(), Actual: ln.now()})
+				r.done = true
+				m.closeCacheStream(r)
+				return true
+			}
+			m.cache.Produced(id, b.Index)
+			ln.stats.silenceBlocks++
+		} else {
+			_, res := m.cache.Get(id, b.Index)
+			switch res {
+			case cache.Wait:
+				return served > 0
+			case cache.Miss:
+				r.needsDemote = true
+				return served > 0
+			case cache.Hit:
+			}
+			ps.cacheHits++
+			ln.stats.cacheHits++
+		}
+		arrival := ln.now()
+		j := ps.nextFetch
+		ps.nextFetch++
+		ln.stats.blocksFetched++
+		if ps.started {
+			if dl := ps.deadline(j); arrival > dl {
+				ln.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
+			}
+		}
+		ps.fetchDone = arrival
+		served++
+		if !ps.started && ps.nextFetch >= ps.readAhead {
+			ps.started = true
+			ps.startTime = arrival
+		}
+	}
+	return served > 0
+}
+
+// servicePlay fetches up to k blocks for a play request, respecting
+// the display-buffer regulation, recording arrival-vs-deadline
+// violations, and starting the display once the read-ahead is
+// satisfied. With concurrency p > 1, up to p blocks are fetched in
+// parallel on distinct heads, all arriving when the slowest completes.
+//
+// rt:hotpath
+func (ln *lane) servicePlay(r *request, k int) bool {
+	m := ln.m
+	ps := r.play
+	fetched := 0
+	for fetched < k {
+		if ps.nextFetch >= len(ps.plan.Blocks) {
+			break
+		}
+		if ps.started && ps.occupancyAt(ln.now()) >= ps.plan.Buffers {
+			break // regulation: never overflow the display subsystem
+		}
+		// Determine the parallel batch size.
+		batch := m.concurrency
+		if batch > k-fetched {
+			batch = k - fetched
+		}
+		if rem := len(ps.plan.Blocks) - ps.nextFetch; batch > rem {
+			batch = rem
+		}
+		if ps.started {
+			if room := ps.plan.Buffers - ps.occupancyAt(ln.now()); batch > room {
+				batch = room
+			}
+		}
+		var maxT time.Duration
+		first := ps.nextFetch
+		deg := alloc.Zeroed(ln.deg, batch)
+		ln.deg = deg
+		for i := 0; i < batch; i++ {
+			b := ps.plan.Blocks[first+i]
+			if b.Reader == nil {
+				// Pure delay block (an interval whose medium is
+				// absent): consumes playback time, no disk work.
+				continue
+			}
+			if ps.cacheOpen {
+				// Consult the cache before the timed disk read: a
+				// block still resident (pinned by an interval or
+				// retained by the LRU from an earlier play) costs
+				// zero disk time. (Serial lane only: open cache
+				// streams never ride a parallel lane.)
+				if _, res := m.cache.Get(uint64(r.id), b.Index); res == cache.Hit {
+					ps.cacheHits++
+					ln.stats.cacheHits++
+					continue
+				}
+			}
+			h := i % m.d.Heads()
+			data, t, silent, err := b.Reader.ReadBlockInto(h, b.Index, &ln.blockBuf)
+			if err != nil && isFault(err) {
+				data, t, silent, err = ln.retryRead(b, h, t, err)
+			}
+			if err != nil {
+				if !isFault(err) {
+					// A broken plan is a programming error in the layers
+					// above; record it as a violation at this block and
+					// stop the request.
+					ln.violate(&ps.violations, Violation{Block: first + i, Deadline: ln.now(), Actual: ln.now()})
+					r.done = true
+					m.closeCacheStream(r)
+					return true
+				}
+				// Graceful degradation: the retry budget is exhausted
+				// (or the sector is a persistent defect), so a
+				// zero-filled block stands in for the unreadable data —
+				// the display glitches for one block instead of the
+				// play aborting. The zero-fill is never cached: a
+				// following stream misses here and falls back to disk
+				// through the demotion path.
+				deg[i] = true
+				if ps.cacheOpen {
+					m.cache.Produced(uint64(r.id), b.Index)
+				}
+				if t > maxT {
+					maxT = t
+				}
+				continue
+			}
+			r.consecFails = 0
+			if silent {
+				ln.stats.silenceBlocks++
+				if ps.cacheOpen {
+					// Silence is regenerated on read, never cached.
+					m.cache.Produced(uint64(r.id), b.Index)
+				}
+			} else if ps.cacheOpen {
+				// Feed the interval cache: a follower's pin, or plain
+				// LRU residency for future adoptions.
+				m.cache.Put(uint64(r.id), b.Index, data)
+			}
+			if t > maxT {
+				maxT = t
+			}
+		}
+		ln.advance(maxT)
+		arrival := ln.now()
+		for i := 0; i < batch; i++ {
+			j := first + i
+			ps.nextFetch++
+			ln.stats.blocksFetched++
+			if deg[i] {
+				ln.degradeBlock(r, j, arrival)
+				continue
+			}
+			if ps.started {
+				if dl := ps.deadline(j); arrival > dl {
+					ln.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
+				}
+			}
+		}
+		if m.ft.ConsecFailLimit > 0 && r.consecFails >= m.ft.ConsecFailLimit {
+			// Escalation: every recent delivery degraded, so the
+			// stream's output is unusable and its retries are eating
+			// the shared slack round after round. Stop it; its slot
+			// returns to the admission pool.
+			ln.stats.faultStops++
+			if m.obs != nil {
+				m.obs.faultStops.Inc()
+			}
+			r.done = true
+			m.closeCacheStream(r)
+			return true
+		}
+		ps.fetchDone = arrival
+		fetched += batch
+		if !ps.started && ps.nextFetch >= ps.readAhead {
+			ps.started = true
+			ps.startTime = arrival
+		}
+	}
+	return fetched > 0
+}
+
+// retryRead re-attempts a faulted block read, bounded by the policy's
+// MaxRetries and by the lane's remaining slack: an attempt is made
+// only while its estimated service time fits the budget, and each
+// attempt's actual service time is deducted. The returned t is the
+// total time across all attempts (the caller's batch charges it to the
+// lane cursor); persistent defects (ErrBadSector) are never retried.
+func (ln *lane) retryRead(b PlannedBlock, h int, t0 time.Duration, err0 error) ([]byte, time.Duration, bool, error) {
+	m := ln.m
+	total, err := t0, err0
+	for attempt := 0; attempt < m.ft.MaxRetries; attempt++ {
+		if !errors.Is(err, fault.ErrTransient) {
+			break
+		}
+		est, perr := b.Reader.PeekBlockTime(h, b.Index)
+		if perr != nil || est > ln.retrySlack {
+			break
+		}
+		data, t, silent, rerr := b.Reader.ReadBlockInto(h, b.Index, &ln.blockBuf)
+		total += t
+		if t >= ln.retrySlack {
+			ln.retrySlack = 0
+		} else {
+			ln.retrySlack -= t
+		}
+		ln.stats.retries++
+		if m.obs != nil {
+			m.obs.retries.Inc()
+		}
+		if rerr == nil {
+			return data, total, silent, nil
+		}
+		err = rerr
+	}
+	return nil, total, false, err
+}
+
+// degradeBlock records one zero-fill delivery: a Degraded violation at
+// the block, the per-request and lane counters, and the consecutive-
+// failure count the escalation threshold watches.
+func (ln *lane) degradeBlock(r *request, j int, arrival time.Duration) {
+	ps := r.play
+	dl := arrival
+	if ps.started {
+		dl = ps.deadline(j)
+	}
+	ln.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival, Cause: CauseDegraded})
+	ps.degraded++
+	r.consecFails++
+	ln.stats.degradedBlocks++
+	if ln.m.obs != nil {
+		ln.m.obs.degraded.Inc()
+	}
+}
+
+// violate records one continuity violation on a request and in the
+// lane counter the manager folds into the published total.
+func (ln *lane) violate(dst *[]Violation, v Violation) {
+	//lint:ignore allocpath violations are rare by design and must be retained for the caller's report
+	*dst = append(*dst, v)
+	ln.stats.violations++
+}
+
+// serviceRecord writes up to k captured blocks for a record request,
+// recording buffer-overflow violations. Record requests only ever
+// reach the serial lane: their write path touches allocator and
+// strand-writer state no lane partition protects.
+func (ln *lane) serviceRecord(r *request, k int) bool {
+	rs := r.rec
+	wrote := 0
+	for wrote < k {
+		if rs.exhausted {
+			break
+		}
+		if rs.totalBlks > 0 && rs.nextWrite >= rs.totalBlks {
+			rs.exhausted = true
+			break
+		}
+		// Block b completes capture at start + (b+1)·blockDur.
+		ready := rs.start + time.Duration(rs.nextWrite+1)*rs.blockDur
+		if ln.now() < ready {
+			break // not yet captured
+		}
+		var flushTime time.Duration
+		full := true
+		for u := 0; u < rs.plan.UnitsPerBlock; u++ {
+			unit, ok := rs.plan.Source.Next()
+			if !ok {
+				full = false
+				break
+			}
+			t, err := rs.plan.Writer.Append(unit)
+			if err != nil {
+				ln.violate(&rs.violations, Violation{Block: rs.nextWrite, Deadline: ln.now(), Actual: ln.now()})
+				rs.exhausted = true
+				return true
+			}
+			flushTime += t
+		}
+		if !full {
+			rs.exhausted = true
+			if rs.plan.Writer.UnitsWritten()%uint64(rs.plan.UnitsPerBlock) == 0 {
+				break // nothing partial pending
+			}
+		}
+		ln.advance(flushTime)
+		finish := ln.now()
+		// Overflow deadline: the capture device has Buffers block
+		// buffers, so block b must be on disk before block b+Buffers
+		// finishes capture.
+		dl := rs.start + time.Duration(rs.nextWrite+rs.plan.Buffers+1)*rs.blockDur
+		if finish > dl {
+			ln.violate(&rs.violations, Violation{Block: rs.nextWrite, Deadline: dl, Actual: finish})
+		}
+		rs.nextWrite++
+		ln.stats.blocksWritten++
+		wrote++
+		if !full {
+			break
+		}
+	}
+	return wrote > 0
+}
+
+// runStripedRound services one round over a striped array: partition
+// the active requests onto per-spindle lanes, spawn one goroutine per
+// spindle, join, advance the clock to the slowest lane, then service
+// the serial leftovers. Reports whether any request transferred.
+//
+// rt:hotpath
+func (m *Manager) runStripedRound(act []*request) bool {
+	t0 := m.clock.Now()
+	serial := m.scratchSerial[:0]
+	for _, ln := range m.lanes {
+		ln.reqs = ln.reqs[:0]
+	}
+	for _, r := range act {
+		if sp, ok := m.laneSpindle(r); ok {
+			m.lanes[sp].reqs = alloc.Append(m.lanes[sp].reqs, r)
+		} else {
+			serial = alloc.Append(serial, r)
+		}
+	}
+	m.scratchSerial = serial
+
+	// Per-spindle Eq. 18 retry budgets over the spindle-resident
+	// admission sets; the manager-level budget reported by RetrySlack
+	// (and charged by the serial phase) is the most constrained lane's.
+	m.fillSpindleAdmissionSets()
+	minSlack := time.Duration(-1)
+	for _, ln := range m.lanes {
+		ln.at = t0
+		ln.worked = false
+		ln.retrySlack = continuity.Duration(m.adm.SlackSeconds(ln.admSet, m.k))
+		if minSlack < 0 || ln.retrySlack < minSlack {
+			minSlack = ln.retrySlack
+		}
+	}
+
+	// One goroutine per spindle per round, joined before the round
+	// closes: laneWG.Add happens-before each spawn, lane.run defers
+	// laneWG.Done, and the Wait below blocks until every sub-round has
+	// finished. The spawn goes through the pre-bound funcval so the
+	// steady-state round allocates nothing.
+	m.laneWG.Add(len(m.lanes))
+	for _, ln := range m.lanes {
+		//lint:ignore gojoin runFn is lane.run bound at construction; it defers laneWG.Done and the Wait below joins it
+		go ln.runFn()
+	}
+	m.laneWG.Wait()
+
+	// Join the sub-rounds: the round spans the slowest lane, counters
+	// merge in spindle order so totals are deterministic.
+	worked := false
+	maxAt := t0
+	for _, ln := range m.lanes {
+		if ln.worked {
+			worked = true
+		}
+		if ln.at > maxAt {
+			maxAt = ln.at
+		}
+		ln.flushStats()
+		if ln.retrySlack < minSlack {
+			minSlack = ln.retrySlack
+		}
+	}
+	if maxAt > m.clock.Now() {
+		m.clock.AdvanceTo(maxAt)
+	}
+	m.retrySlack = minSlack
+
+	// Serial phase at the joined clock: records, cache-coupled plays,
+	// and fetch windows the stripe map splits across spindles.
+	if len(serial) > 0 {
+		m.serial.retrySlack = m.retrySlack
+		if m.order == ScanOrder {
+			m.scanSort(serial)
+		}
+		for _, r := range serial {
+			if m.serial.serviceRequest(r, m.k) {
+				worked = true
+			}
+		}
+		m.serial.flushStats()
+		m.retrySlack = m.serial.retrySlack
+	}
+	return worked
+}
+
+// laneSpindle reports the spindle whose lane can service request r this
+// round: r must be a disk-bound play with no open cache stream, and
+// every media block in its next-k fetch window must lie on that one
+// spindle without crossing a stripe-group boundary. ok=false routes r
+// to the serial phase.
+//
+// rt:hotpath
+func (m *Manager) laneSpindle(r *request) (int, bool) {
+	if r.kind != Play || r.cacheServed || r.play.cacheOpen {
+		return 0, false
+	}
+	ps := r.play
+	end := ps.nextFetch + m.k
+	if end > len(ps.plan.Blocks) {
+		end = len(ps.plan.Blocks)
+	}
+	sp := -1
+	for j := ps.nextFetch; j < end; j++ {
+		b := ps.plan.Blocks[j]
+		if b.Reader == nil {
+			continue
+		}
+		e, err := b.Reader.Strand().Block(b.Index)
+		if err != nil {
+			return 0, false
+		}
+		if e.Silent() {
+			continue
+		}
+		s, one := m.array.SpindleRange(int(e.Sector), int(e.SectorCount))
+		if !one || (sp >= 0 && s != sp) {
+			return 0, false
+		}
+		sp = s
+	}
+	if sp < 0 {
+		// No disk work in the window (pure delay / silence): the serial
+		// phase advances it for free.
+		return 0, false
+	}
+	return sp, true
+}
+
+// requestSpindle reports the spindle an admitted request is currently
+// resident on — the one holding its next media block. ok is false for
+// records, drained plays, and anything else without a knowable
+// position; admission charges those to every spindle.
+func (m *Manager) requestSpindle(r *request) (int, bool) {
+	if m.array == nil || r.kind != Play {
+		return 0, false
+	}
+	ps := r.play
+	for j := ps.nextFetch; j < len(ps.plan.Blocks); j++ {
+		b := ps.plan.Blocks[j]
+		if b.Reader == nil {
+			continue
+		}
+		e, err := b.Reader.Strand().Block(b.Index)
+		if err != nil || e.Silent() {
+			continue
+		}
+		sp, _ := m.array.Locate(int(e.Sector))
+		return sp, true
+	}
+	return 0, false
+}
+
+// planSpindle reports the home spindle of a play plan — the spindle
+// holding its first media block — or -1 when unknown (then admission
+// must clear every spindle).
+func (m *Manager) planSpindle(plan PlayPlan) int {
+	if m.array == nil {
+		return -1
+	}
+	for _, b := range plan.Blocks {
+		if b.Reader == nil {
+			continue
+		}
+		e, err := b.Reader.Strand().Block(b.Index)
+		if err != nil || e.Silent() {
+			continue
+		}
+		sp, _ := m.array.Locate(int(e.Sector))
+		return sp
+	}
+	return -1
+}
+
+// fillSpindleAdmissionSets rebuilds every lane's admission set — the
+// disk-bound requests resident on its spindle — into the lanes' scratch
+// arenas. Requests with unknown placement are charged to every spindle
+// (conservative: Eq. 18 must hold wherever they might land).
+//
+// rt:hotpath
+func (m *Manager) fillSpindleAdmissionSets() {
+	for _, ln := range m.lanes {
+		ln.admSet = ln.admSet[:0]
+	}
+	for _, r := range m.reqs {
+		if r.done || r.cacheServed {
+			continue
+		}
+		if r.pause != nil && r.pause.destructive {
+			continue
+		}
+		if sp, ok := m.requestSpindle(r); ok {
+			m.lanes[sp].admSet = alloc.Append(m.lanes[sp].admSet, r.adm)
+		} else {
+			for _, ln := range m.lanes {
+				ln.admSet = alloc.Append(ln.admSet, r.adm)
+			}
+		}
+	}
+}
+
+// spindleAdmissionSets builds the per-spindle admission sets as fresh
+// slices for the Striped admission controller (a per-request control
+// event, so the allocations are off the hot path).
+func (m *Manager) spindleAdmissionSets() [][]continuity.Request {
+	m.fillSpindleAdmissionSets()
+	//lint:ignore allocpath admission is a per-request control event, not per-round work
+	sets := make([][]continuity.Request, len(m.lanes))
+	for i, ln := range m.lanes {
+		//lint:ignore allocpath admission is a per-request control event, not per-round work
+		sets[i] = append([]continuity.Request(nil), ln.admSet...)
+	}
+	return sets
+}
+
+// StripeSpindles reports the array's spindle count, 1 when the manager
+// drives a single device.
+func (m *Manager) StripeSpindles() int {
+	if m.array == nil {
+		return 1
+	}
+	return m.array.Spindles()
+}

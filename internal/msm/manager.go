@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"mmfs/internal/alloc"
@@ -142,15 +143,23 @@ type Manager struct {
 	ft         FaultPolicy
 	retrySlack time.Duration
 	// Per-round scratch storage, reused to keep the service loop
-	// allocation-free (the round loop is the hot path).
+	// allocation-free (the round loop is the hot path). Service-time
+	// scratch (the degraded-block marks and the block-payload buffer)
+	// lives on the lanes, which parallel sub-rounds own exclusively.
 	scratchAct []*request
 	scratchAdm []continuity.Request
-	scratchDeg []bool
-	// blockBuf is the reusable block-payload buffer the timed read
-	// path fills via Reader.ReadBlockInto; its contents are only valid
-	// until the next read.
-	blockBuf []byte
-	sorter   scanSorter
+	sorter     scanSorter
+	// serial is the lane that services every request on a single
+	// device, and the striped round's serial phase; its virtual time
+	// writes through to the manager clock.
+	serial *lane
+	// array, lanes and laneWG drive the striped parallel round when d
+	// is a disk.Array of degree > 1: one lane — and one goroutine per
+	// round, joined before the round closes — per spindle.
+	array         *disk.Array
+	lanes         []*lane
+	laneWG        sync.WaitGroup
+	scratchSerial []*request
 	// obs, when set, receives per-round trace records and mirrors the
 	// counters into a metrics registry (see obs.go).
 	obs *roundObs
@@ -161,7 +170,21 @@ type Manager struct {
 // DefaultFaultPolicy (it only engages on injected faults, so it is
 // safe always-on).
 func New(d disk.Device, adm continuity.Admission) *Manager {
-	return &Manager{d: d, adm: adm, k: 1, concurrency: 1, nextID: 1, ft: DefaultFaultPolicy()}
+	m := &Manager{d: d, adm: adm, k: 1, concurrency: 1, nextID: 1, ft: DefaultFaultPolicy()}
+	m.serial = &lane{m: m, spindle: -1, clk: &m.clock}
+	if a, ok := d.(*disk.Array); ok && a.Spindles() > 1 {
+		m.array = a
+		g := a.Spindle(0).Geometry()
+		for i := 0; i < a.Spindles(); i++ {
+			ln := &lane{
+				m: m, spindle: i,
+				spc: g.SectorsPerCylinder(), cyls: g.Cylinders,
+			}
+			ln.runFn = ln.run
+			m.lanes = append(m.lanes, ln)
+		}
+	}
+	return m
 }
 
 // SetFaultPolicy overrides the fault-tolerant service policy.
@@ -272,10 +295,25 @@ func (m *Manager) CacheServed() int {
 // request. A cacheServed candidate (one the interval cache can fully
 // serve) is admitted at the current k without charging disk time —
 // Eq. 18 is evaluated over the disk-bound population only.
-func (m *Manager) admit(candidate continuity.Request, cacheServed bool) (continuity.Decision, error) {
-	ca := continuity.CacheAware{A: m.adm}
-	dec := ca.Admit(m.admissionSet(), m.k, candidate, cacheServed)
-	m.noteAdmission(dec.Admitted, dec.CacheServed)
+//
+// spindle is the candidate's home spindle on a striped array — the one
+// holding its first media block — or negative when unknown (records,
+// repositioned plays), in which case the candidate must fit on every
+// spindle. Over an array, Eq. 18 is evaluated per spindle against the
+// spindle-resident population (continuity.Striped), so the aggregate
+// admitted load can reach p times the single-spindle n_max. On a
+// single device spindle is ignored.
+func (m *Manager) admit(spindle int, candidate continuity.Request, cacheServed bool) (continuity.Decision, error) {
+	var dec continuity.Decision
+	if m.array != nil && !cacheServed {
+		st := continuity.Striped{A: m.adm, P: len(m.lanes)}
+		dec = st.Admit(m.spindleAdmissionSets(), spindle, m.k, candidate)
+		m.noteAdmission(dec.Admitted, false)
+	} else {
+		ca := continuity.CacheAware{A: m.adm}
+		dec = ca.Admit(m.admissionSet(), m.k, candidate, cacheServed)
+		m.noteAdmission(dec.Admitted, dec.CacheServed)
+	}
 	if !dec.Admitted {
 		//lint:ignore allocpath admission rejection wraps the reason once, on the error path
 		return dec, fmt.Errorf("%w: %s", ErrAdmissionRejected, dec.Reason)
@@ -340,7 +378,7 @@ func (m *Manager) AdmitPlay(plan PlayPlan) (RequestID, continuity.Decision, erro
 	sid, first, end, eligible := planCacheRange(plan)
 	eligible = eligible && m.cache != nil
 	cacheServed := eligible && m.cache.Adoptable(sid, first, plan.Admission.Rate)
-	dec, err := m.admit(plan.Admission, cacheServed)
+	dec, err := m.admit(m.planSpindle(plan), plan.Admission, cacheServed)
 	if err != nil {
 		return 0, dec, err
 	}
@@ -399,7 +437,7 @@ func (m *Manager) AdmitRecord(plan RecordPlan) (RequestID, continuity.Decision, 
 	if err := plan.Validate(); err != nil {
 		return 0, continuity.Decision{}, err
 	}
-	dec, err := m.admit(plan.Admission, false)
+	dec, err := m.admit(-1, plan.Admission, false)
 	if err != nil {
 		return 0, dec, err
 	}
@@ -489,7 +527,11 @@ func (m *Manager) Resume(id RequestID) (continuity.Decision, error) {
 			b := r.play.plan.Blocks[r.play.nextFetch]
 			cacheServed = m.cache.Adoptable(r.play.cacheSID, b.Index, r.adm.Rate)
 		}
-		dec, err = m.admit(r.adm, cacheServed)
+		sp := -1
+		if s, ok := m.requestSpindle(r); ok {
+			sp = s
+		}
+		dec, err = m.admit(sp, r.adm, cacheServed)
 		if err != nil {
 			return dec, err
 		}
@@ -605,18 +647,26 @@ func (m *Manager) RunRound() bool {
 	m.stats.Rounds++
 	// Refill the retry budget: the slack Eq. 18's worst-case charging
 	// leaves unused in this round is what fault retries may spend.
+	// (The striped round refines this to per-spindle budgets below.)
 	m.retrySlack = continuity.Duration(m.adm.SlackSeconds(m.admissionSet(), m.k))
 	if m.obs != nil {
 		defer m.recordRound(m.clock.Now(), m.k, len(m.admissionSet()), m.CacheServed(), len(act))
 	}
-	if m.order == ScanOrder {
-		m.scanSort(act)
-	}
 	worked := false
-	for _, r := range act {
-		if m.serviceRequest(r, m.k) {
-			worked = true
+	if len(m.lanes) > 1 {
+		worked = m.runStripedRound(act)
+	} else {
+		m.serial.retrySlack = m.retrySlack
+		if m.order == ScanOrder {
+			m.scanSort(act)
 		}
+		for _, r := range act {
+			if m.serial.serviceRequest(r, m.k) {
+				worked = true
+			}
+		}
+		m.serial.flushStats()
+		m.retrySlack = m.serial.retrySlack
 	}
 	if !worked {
 		next, ok := m.nextWorkTime()
@@ -732,7 +782,11 @@ func (m *Manager) processDemotions() {
 		// recurse into RunRound; r.demoting keeps this request out of
 		// them (it has no admission slot yet).
 		r.demoting = true
-		_, err := m.admit(r.adm, false)
+		sp := -1
+		if s, ok := m.requestSpindle(r); ok {
+			sp = s
+		}
+		_, err := m.admit(sp, r.adm, false)
 		r.demoting = false
 		if err != nil {
 			r.cacheServed = false
@@ -823,283 +877,10 @@ func (m *Manager) scanSort(act []*request) {
 	m.sorter.reqs = nil
 }
 
-// serviceRequest transfers up to k blocks for the request; reports
-// whether any work happened.
-//
-// rt:hotpath
-func (m *Manager) serviceRequest(r *request, k int) bool {
-	switch {
-	case r.kind == Play && r.cacheServed:
-		return m.serviceCached(r, k)
-	case r.kind == Play:
-		return m.servicePlay(r, k)
-	default:
-		return m.serviceRecord(r, k)
-	}
-}
-
-// serviceCached serves a cache-served follower: blocks come from the
-// interval cache at zero disk time (silence blocks are regenerated
-// directly from the strand, also free). Display-buffer regulation and
-// deadline bookkeeping are identical to the disk path. A Wait (the
-// leader has not produced the block yet) simply ends this request's
-// turn; a Miss marks the interval broken and the demotion runs at the
-// top of the next round.
-func (m *Manager) serviceCached(r *request, k int) bool {
-	ps := r.play
-	id := uint64(r.id)
-	served := 0
-	for served < k {
-		if ps.nextFetch >= len(ps.plan.Blocks) {
-			break
-		}
-		if ps.started && m.occupancy(ps) >= ps.plan.Buffers {
-			break // regulation: never overflow the display subsystem
-		}
-		b := ps.plan.Blocks[ps.nextFetch]
-		e, err := b.Reader.Strand().Block(b.Index)
-		if err != nil {
-			m.violate(&ps.violations, Violation{Block: ps.nextFetch, Deadline: m.clock.Now(), Actual: m.clock.Now()})
-			r.done = true
-			m.closeCacheStream(r)
-			return true
-		}
-		if e.Silent() {
-			// Silence blocks cost no disk time on the disk path
-			// either; regenerate directly and advance the position.
-			if _, _, _, rerr := b.Reader.ReadBlockInto(0, b.Index, &m.blockBuf); rerr != nil {
-				m.violate(&ps.violations, Violation{Block: ps.nextFetch, Deadline: m.clock.Now(), Actual: m.clock.Now()})
-				r.done = true
-				m.closeCacheStream(r)
-				return true
-			}
-			m.cache.Produced(id, b.Index)
-			m.stats.SilenceBlocks++
-		} else {
-			_, res := m.cache.Get(id, b.Index)
-			switch res {
-			case cache.Wait:
-				return served > 0
-			case cache.Miss:
-				r.needsDemote = true
-				return served > 0
-			case cache.Hit:
-			}
-			ps.cacheHits++
-			m.stats.CacheHits++
-		}
-		arrival := m.clock.Now()
-		j := ps.nextFetch
-		ps.nextFetch++
-		m.stats.BlocksFetched++
-		if ps.started {
-			if dl := ps.deadline(j); arrival > dl {
-				m.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
-			}
-		}
-		ps.fetchDone = arrival
-		served++
-		if !ps.started && ps.nextFetch >= ps.readAhead {
-			ps.started = true
-			ps.startTime = arrival
-		}
-	}
-	return served > 0
-}
-
-// servicePlay fetches up to k blocks for a play request, respecting
-// the display-buffer regulation, recording arrival-vs-deadline
-// violations, and starting the display once the read-ahead is
-// satisfied. With concurrency p > 1, up to p blocks are fetched in
-// parallel on distinct heads, all arriving when the slowest completes.
-func (m *Manager) servicePlay(r *request, k int) bool {
-	ps := r.play
-	fetched := 0
-	for fetched < k {
-		if ps.nextFetch >= len(ps.plan.Blocks) {
-			break
-		}
-		if ps.started && m.occupancy(ps) >= ps.plan.Buffers {
-			break // regulation: never overflow the display subsystem
-		}
-		// Determine the parallel batch size.
-		batch := m.concurrency
-		if batch > k-fetched {
-			batch = k - fetched
-		}
-		if rem := len(ps.plan.Blocks) - ps.nextFetch; batch > rem {
-			batch = rem
-		}
-		if ps.started {
-			if room := ps.plan.Buffers - m.occupancy(ps); batch > room {
-				batch = room
-			}
-		}
-		var maxT time.Duration
-		first := ps.nextFetch
-		deg := alloc.Zeroed(m.scratchDeg, batch)
-		m.scratchDeg = deg
-		for i := 0; i < batch; i++ {
-			b := ps.plan.Blocks[first+i]
-			if b.Reader == nil {
-				// Pure delay block (an interval whose medium is
-				// absent): consumes playback time, no disk work.
-				continue
-			}
-			if ps.cacheOpen {
-				// Consult the cache before the timed disk read: a
-				// block still resident (pinned by an interval or
-				// retained by the LRU from an earlier play) costs
-				// zero disk time.
-				if _, res := m.cache.Get(uint64(r.id), b.Index); res == cache.Hit {
-					ps.cacheHits++
-					m.stats.CacheHits++
-					continue
-				}
-			}
-			h := i % m.d.Heads()
-			data, t, silent, err := b.Reader.ReadBlockInto(h, b.Index, &m.blockBuf)
-			if err != nil && isFault(err) {
-				data, t, silent, err = m.retryRead(b, h, t, err)
-			}
-			if err != nil {
-				if !isFault(err) {
-					// A broken plan is a programming error in the layers
-					// above; record it as a violation at this block and
-					// stop the request.
-					m.violate(&ps.violations, Violation{Block: first + i, Deadline: m.clock.Now(), Actual: m.clock.Now()})
-					r.done = true
-					m.closeCacheStream(r)
-					return true
-				}
-				// Graceful degradation: the retry budget is exhausted
-				// (or the sector is a persistent defect), so a
-				// zero-filled block stands in for the unreadable data —
-				// the display glitches for one block instead of the
-				// play aborting. The zero-fill is never cached: a
-				// following stream misses here and falls back to disk
-				// through the demotion path.
-				deg[i] = true
-				if ps.cacheOpen {
-					m.cache.Produced(uint64(r.id), b.Index)
-				}
-				if t > maxT {
-					maxT = t
-				}
-				continue
-			}
-			r.consecFails = 0
-			if silent {
-				m.stats.SilenceBlocks++
-				if ps.cacheOpen {
-					// Silence is regenerated on read, never cached.
-					m.cache.Produced(uint64(r.id), b.Index)
-				}
-			} else if ps.cacheOpen {
-				// Feed the interval cache: a follower's pin, or plain
-				// LRU residency for future adoptions.
-				m.cache.Put(uint64(r.id), b.Index, data)
-			}
-			if t > maxT {
-				maxT = t
-			}
-		}
-		m.clock.Advance(maxT)
-		arrival := m.clock.Now()
-		for i := 0; i < batch; i++ {
-			j := first + i
-			ps.nextFetch++
-			m.stats.BlocksFetched++
-			if deg[i] {
-				m.degradeBlock(r, j, arrival)
-				continue
-			}
-			if ps.started {
-				if dl := ps.deadline(j); arrival > dl {
-					m.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival})
-				}
-			}
-		}
-		if m.ft.ConsecFailLimit > 0 && r.consecFails >= m.ft.ConsecFailLimit {
-			// Escalation: every recent delivery degraded, so the
-			// stream's output is unusable and its retries are eating
-			// the shared slack round after round. Stop it; its slot
-			// returns to the admission pool.
-			m.stats.FaultStops++
-			if m.obs != nil {
-				m.obs.faultStops.Inc()
-			}
-			r.done = true
-			m.closeCacheStream(r)
-			return true
-		}
-		ps.fetchDone = arrival
-		fetched += batch
-		if !ps.started && ps.nextFetch >= ps.readAhead {
-			ps.started = true
-			ps.startTime = arrival
-		}
-	}
-	return fetched > 0
-}
-
 // isFault reports whether a read error came from the fault-injection
 // layer (retryable or degradable) rather than a broken plan.
 func isFault(err error) bool {
 	return errors.Is(err, fault.ErrTransient) || errors.Is(err, fault.ErrBadSector)
-}
-
-// retryRead re-attempts a faulted block read, bounded by the policy's
-// MaxRetries and by the round's remaining slack: an attempt is made
-// only while its estimated service time fits the budget, and each
-// attempt's actual service time is deducted. The returned t is the
-// total time across all attempts (the caller's batch charges it to the
-// clock); persistent defects (ErrBadSector) are never retried.
-func (m *Manager) retryRead(b PlannedBlock, h int, t0 time.Duration, err0 error) ([]byte, time.Duration, bool, error) {
-	total, err := t0, err0
-	for attempt := 0; attempt < m.ft.MaxRetries; attempt++ {
-		if !errors.Is(err, fault.ErrTransient) {
-			break
-		}
-		est, perr := b.Reader.PeekBlockTime(h, b.Index)
-		if perr != nil || est > m.retrySlack {
-			break
-		}
-		data, t, silent, rerr := b.Reader.ReadBlockInto(h, b.Index, &m.blockBuf)
-		total += t
-		if t >= m.retrySlack {
-			m.retrySlack = 0
-		} else {
-			m.retrySlack -= t
-		}
-		m.stats.Retries++
-		if m.obs != nil {
-			m.obs.retries.Inc()
-		}
-		if rerr == nil {
-			return data, total, silent, nil
-		}
-		err = rerr
-	}
-	return nil, total, false, err
-}
-
-// degradeBlock records one zero-fill delivery: a Degraded violation at
-// the block, the per-request and manager counters, and the consecutive-
-// failure count the escalation threshold watches.
-func (m *Manager) degradeBlock(r *request, j int, arrival time.Duration) {
-	ps := r.play
-	dl := arrival
-	if ps.started {
-		dl = ps.deadline(j)
-	}
-	m.violate(&ps.violations, Violation{Block: j, Deadline: dl, Actual: arrival, Cause: CauseDegraded})
-	ps.degraded++
-	r.consecFails++
-	m.stats.DegradedBlocks++
-	if m.obs != nil {
-		m.obs.degraded.Inc()
-	}
 }
 
 // deadline is the display start time of plan block j.
@@ -1107,20 +888,13 @@ func (ps *playState) deadline(j int) time.Duration {
 	return ps.startTime + ps.deadlines[j]
 }
 
-// violate records one continuity violation on a request and in the
-// manager-wide counter the observability layer publishes.
-func (m *Manager) violate(dst *[]Violation, v Violation) {
-	//lint:ignore allocpath violations are rare by design and must be retained for the caller's report
-	*dst = append(*dst, v)
-	m.stats.Violations++
-}
-
-// occupancy is the number of fetched blocks not yet fully displayed.
-func (m *Manager) occupancy(ps *playState) int {
+// occupancyAt is the number of fetched blocks not yet fully displayed
+// at virtual time now.
+func (ps *playState) occupancyAt(now time.Duration) int {
 	if !ps.started {
 		return ps.nextFetch
 	}
-	return ps.nextFetch - ps.releasedBlocks(m.clock.Now()-ps.startTime)
+	return ps.nextFetch - ps.releasedBlocks(now-ps.startTime)
 }
 
 // releasedBlocks counts the fetched blocks whose display has completed
@@ -1140,65 +914,6 @@ func (ps *playState) releasedBlocks(elapsed time.Duration) int {
 		}
 	}
 	return lo
-}
-
-// serviceRecord writes up to k captured blocks for a record request,
-// recording buffer-overflow violations.
-func (m *Manager) serviceRecord(r *request, k int) bool {
-	rs := r.rec
-	wrote := 0
-	for wrote < k {
-		if rs.exhausted {
-			break
-		}
-		if rs.totalBlks > 0 && rs.nextWrite >= rs.totalBlks {
-			rs.exhausted = true
-			break
-		}
-		// Block b completes capture at start + (b+1)·blockDur.
-		ready := rs.start + time.Duration(rs.nextWrite+1)*rs.blockDur
-		if m.clock.Now() < ready {
-			break // not yet captured
-		}
-		var flushTime time.Duration
-		full := true
-		for u := 0; u < rs.plan.UnitsPerBlock; u++ {
-			unit, ok := rs.plan.Source.Next()
-			if !ok {
-				full = false
-				break
-			}
-			t, err := rs.plan.Writer.Append(unit)
-			if err != nil {
-				m.violate(&rs.violations, Violation{Block: rs.nextWrite, Deadline: m.clock.Now(), Actual: m.clock.Now()})
-				rs.exhausted = true
-				return true
-			}
-			flushTime += t
-		}
-		if !full {
-			rs.exhausted = true
-			if rs.plan.Writer.UnitsWritten()%uint64(rs.plan.UnitsPerBlock) == 0 {
-				break // nothing partial pending
-			}
-		}
-		m.clock.Advance(flushTime)
-		finish := m.clock.Now()
-		// Overflow deadline: the capture device has Buffers block
-		// buffers, so block b must be on disk before block b+Buffers
-		// finishes capture.
-		dl := rs.start + time.Duration(rs.nextWrite+rs.plan.Buffers+1)*rs.blockDur
-		if finish > dl {
-			m.violate(&rs.violations, Violation{Block: rs.nextWrite, Deadline: dl, Actual: finish})
-		}
-		rs.nextWrite++
-		m.stats.BlocksWritten++
-		wrote++
-		if !full {
-			break
-		}
-	}
-	return wrote > 0
 }
 
 // nextWorkTime finds the earliest virtual time at which any active
@@ -1223,7 +938,7 @@ func (m *Manager) nextWorkTime() (time.Duration, bool) {
 			if r.cacheServed && !m.cachedCanWork(r) {
 				continue
 			}
-			if !ps.started || m.occupancy(ps) < ps.plan.Buffers {
+			if !ps.started || ps.occupancyAt(m.clock.Now()) < ps.plan.Buffers {
 				best, found = noteEarliest(best, found, m.clock.Now())
 				continue
 			}

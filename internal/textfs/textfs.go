@@ -32,7 +32,7 @@ type file struct {
 // Store is a flat namespace of text files sharing the media
 // allocator.
 type Store struct {
-	d     *disk.Disk
+	d     disk.Device
 	a     *alloc.Allocator
 	files map[string]*file
 	// extentSectors caps each extent so files interleave with media
@@ -42,7 +42,7 @@ type Store struct {
 
 // NewStore creates an empty text-file store over the shared disk and
 // allocator.
-func NewStore(d *disk.Disk, a *alloc.Allocator) *Store {
+func NewStore(d disk.Device, a *alloc.Allocator) *Store {
 	return &Store{d: d, a: a, files: make(map[string]*file), extentSectors: 16}
 }
 

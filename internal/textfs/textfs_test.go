@@ -174,7 +174,7 @@ func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 }
 
 // sDisk exposes the store's disk for the restore test.
-func sDisk(s *Store) *disk.Disk { return s.d }
+func sDisk(s *Store) *disk.Disk { return s.d.(*disk.Disk) }
 
 // Property: random write/overwrite/delete sequences never lose data:
 // reads always match the latest write.
