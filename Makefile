@@ -53,13 +53,16 @@ bench-compare:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/current.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.15 bench/baseline.json bench/current.json
 
-# Allocation-regression gate: the steady-state service round
-# (BenchmarkPlaybackRound/steady) must hold its baseline allocs/op —
-# zero — and the full-playback variant must not grow its allocation
-# count past tolerance. Fast enough to run on every push.
+# Allocation-regression gate: the steady-state service rounds
+# (BenchmarkPlaybackRound/steady and BenchmarkQoSClassPass, the round
+# loop with the QoS class pass engaged on a degraded population) must
+# hold their baseline allocs/op — zero — and the full-playback variant
+# must not grow its allocation count past tolerance. Fast enough to
+# run on every push.
 bench-check:
-	$(GO) test -run '^$$' -bench=BenchmarkPlaybackRound -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/allocs.json
+	$(GO) test -run '^$$' -bench='BenchmarkPlaybackRound|BenchmarkQoSClassPass' -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/allocs.json
 	$(GO) run ./cmd/benchjson -compare -subset BenchmarkPlaybackRound bench/baseline.json bench/allocs.json
+	$(GO) run ./cmd/benchjson -compare -subset BenchmarkQoSClassPass bench/baseline.json bench/allocs.json
 
 # Short fuzz pass over the wire codec and the fault-scenario parser;
 # lengthen -fuzztime locally.
@@ -69,13 +72,17 @@ fuzz:
 	$(GO) test -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzParseScenario -fuzztime=10s ./internal/fault
 
-# Replay the EXP-FT chaos storms and the EXP-STRIPE degraded-spindle
-# run, then check the acceptance assertions (zero aborted plays, zero
-# escalation stops, bounded degradation, fault isolation per spindle).
+# Replay the EXP-FT chaos storms, the EXP-STRIPE degraded-spindle run,
+# and the EXP-QOS overload cycle, then check the acceptance assertions
+# (zero aborted plays, zero escalation stops, bounded degradation,
+# fault isolation per spindle, premium streams undisturbed through
+# load shedding). SEED offsets the storms (see the nightly loop).
+SEED ?= 0
 chaos:
-	$(GO) run ./cmd/mmexperiments -exp ft
-	$(GO) run ./cmd/mmexperiments -exp stripe
-	$(GO) test -run 'TestFaultTolerance|TestStripedScaling' ./internal/experiments
+	$(GO) run ./cmd/mmexperiments -seed $(SEED) -exp ft
+	$(GO) run ./cmd/mmexperiments -seed $(SEED) -exp stripe
+	$(GO) run ./cmd/mmexperiments -seed $(SEED) -exp qos
+	$(GO) test -run 'TestFaultTolerance|TestStripedScaling|TestQoS' ./internal/experiments
 	$(GO) test -run TestStriped ./internal/msm
 
 clean:

@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	mmexperiments            # run everything
-//	mmexperiments -exp f4    # run one experiment
-//	mmexperiments -list      # list experiment IDs
+//	mmexperiments             # run everything
+//	mmexperiments -exp f4     # run one experiment
+//	mmexperiments -list       # list experiment IDs
+//	mmexperiments -seed 1000  # offset the seeded chaos workloads
 package main
 
 import (
@@ -20,12 +21,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (f4, e1, e2, e3, e46, nmax, trans, edit, ra, sil, hdtv, ff, vbr, scan, reorg, ic)")
+	exp := flag.String("exp", "", "run a single experiment (f4, e1, e2, e3, e46, nmax, trans, edit, ra, sil, hdtv, ff, vbr, scan, reorg, ic, ft, stripe, qos)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	seed := flag.Int64("seed", 0, "offset for the seeded chaos workloads (EXP-FT, EXP-STRIPE, EXP-QOS); 0 keeps the default seeds")
 	flag.Parse()
 
+	experiments.SetSeedBase(*seed)
 	if *list {
-		for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic"} {
+		for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft", "stripe", "qos"} {
 			fmt.Println(id)
 		}
 		return

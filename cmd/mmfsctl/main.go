@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"mmfs/internal/client"
+	"mmfs/internal/continuity"
 	"mmfs/internal/media"
 	"mmfs/internal/rope"
 )
@@ -78,6 +79,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "mmfsd address")
 	user := flag.String("user", "operator", "user identity for access control")
 	seedFlag := flag.Int64("seed", 0, "deterministic seed for synthetic record sources (0 derives one from the current time)")
+	class := flag.String("class", "default", "QoS class for play: premium, standard, best-effort, or default (the server's configured default)")
 	timeout := flag.Duration("timeout", 0, "dial and per-RPC timeout (0 disables)")
 	retries := flag.Int("retries", 0, "transport-failure retries with capped exponential backoff (0 disables)")
 	flag.Parse()
@@ -184,14 +186,17 @@ func main() {
 				die(err)
 			}
 		}
-		res, err := c.Play(*user, id, m, start, dur, 2)
+		res, err := c.Play(*user, id, m, start, dur, 2, *class)
 		if err != nil {
 			die(err)
 		}
-		fmt.Printf("played rope %d: %d blocks, startup %v, %d continuity violation(s)",
-			id, res.Blocks, res.Startup, res.Violations)
+		fmt.Printf("played rope %d (%s): %d blocks, startup %v, %d continuity violation(s)",
+			id, res.Class, res.Blocks, res.Startup, res.Violations)
 		if res.CacheHits > 0 {
 			fmt.Printf(", %d block(s) from cache", res.CacheHits)
+		}
+		if res.Stride > 1 || res.ShedBlocks > 0 {
+			fmt.Printf(", load-shed at stride %d (%d block(s) skipped)", res.Stride, res.ShedBlocks)
 		}
 		fmt.Println()
 	case "insert":
@@ -358,6 +363,17 @@ func main() {
 		if st.Retries > 0 || st.DegradedBlocks > 0 || st.FaultStops > 0 {
 			fmt.Printf("faults:          %d retried read(s), %d degraded block(s), %d stream(s) stopped\n",
 				st.Retries, st.DegradedBlocks, st.FaultStops)
+		}
+		for i, cs := range st.Classes {
+			if cs.Active == 0 {
+				continue
+			}
+			fmt.Printf("qos %-12s %d active, %d degraded, %.1f units/s effective\n",
+				continuity.Class(i).String()+":", cs.Active, cs.Degraded, cs.EffectiveRate)
+		}
+		if st.Promotions > 0 || st.LoadDemotions > 0 || st.ShedBlocks > 0 {
+			fmt.Printf("qos shedding:    %d promotion(s), %d demotion(s), %d block(s) shed\n",
+				st.Promotions, st.LoadDemotions, st.ShedBlocks)
 		}
 	case "metrics":
 		snap, err := c.Metrics()

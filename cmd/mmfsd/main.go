@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"mmfs/internal/continuity"
 	"mmfs/internal/core"
 	"mmfs/internal/disk"
 	"mmfs/internal/fault"
@@ -41,10 +42,16 @@ func main() {
 		disks     = flag.Int("disks", 1, "independent spindles p; >1 stripes strands across a disk array with one concurrent sub-round and per-spindle admission each round")
 		stripe    = flag.Int("stripe", 0, "striping unit in cylinders (must divide -cylinders); 0 picks cylinders/10")
 		faultSp   = flag.Int("fault-spindle", 0, "spindle the fault scenario wraps when -disks > 1 (single-spindle degradation)")
+		qosMax    = flag.Int("qos-max-stride", 0, "QoS load shedding: max sub-sampling stride for standard/best-effort plays under overload (≥2 enables, 0 keeps admission binary accept/reject)")
+		qosDef    = flag.String("qos-default", "standard", "QoS class for PLAY requests that do not name one: premium, standard, or best-effort")
 	)
 	flag.Parse()
 
 	sc, err := fault.ParseScenario(*scenario)
+	if err != nil {
+		log.Fatalf("mmfsd: %v", err)
+	}
+	defClass, err := continuity.ParseClass(*qosDef)
 	if err != nil {
 		log.Fatalf("mmfsd: %v", err)
 	}
@@ -62,6 +69,7 @@ func main() {
 	fs, err := core.Format(core.Options{
 		Geometry: g, TargetCylinders: *target, CacheMB: *cachemb, Fault: sc,
 		Disks: *disks, Stripe: *stripe, FaultSpindle: *faultSp,
+		QoSMaxStride: *qosMax, QoSDefault: defClass,
 	})
 	if err != nil {
 		log.Fatalf("mmfsd: format: %v", err)
@@ -79,6 +87,9 @@ func main() {
 	}
 	if sc.Active() {
 		fmt.Printf("mmfsd: fault injection %s (degradation ladder: retry, zero-fill, stop)\n", sc)
+	}
+	if *qosMax >= 2 {
+		fmt.Printf("mmfsd: QoS load shedding enabled (default class %s, max stride %d)\n", defClass, *qosMax)
 	}
 
 	lis, err := net.Listen("tcp", *addr)

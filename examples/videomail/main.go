@@ -106,7 +106,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer bob.Close()
-	res, err := bob.Play("bob", videoMail, rope.AudioVisual, 0, 0, 2)
+	res, err := bob.Play("bob", videoMail, rope.AudioVisual, 0, 0, 2, "")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer mallory.Close()
-	if _, err := mallory.Play("mallory", videoMail, rope.AudioVisual, 0, 0, 2); err != nil {
+	if _, err := mallory.Play("mallory", videoMail, rope.AudioVisual, 0, 0, 2, ""); err != nil {
 		fmt.Printf("mallory denied: %v\n", err)
 	} else {
 		log.Fatal("access control failed")

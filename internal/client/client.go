@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"mmfs/internal/continuity"
 	"mmfs/internal/media"
 	"mmfs/internal/obs"
 	"mmfs/internal/rope"
@@ -328,12 +329,20 @@ type PlayResult struct {
 	// CacheHits is the number of blocks served from the server's
 	// interval cache instead of the disk.
 	CacheHits int
+	// Class is the QoS class the server ran the request under.
+	Class string
+	// Stride is the final sub-sampling stride: 1 is full rate, s > 1
+	// means only every s-th block was fetched under load shedding.
+	Stride int
+	// ShedBlocks is the number of blocks skipped by load shedding.
+	ShedBlocks int
 }
 
 // Play runs a remote PLAY to completion and returns its continuity
-// statistics.
-func (c *Client) Play(user string, id rope.ID, m rope.Medium, start, dur time.Duration, readAhead int) (PlayResult, error) {
-	e := wire.NewEncoder().Str(user).U64(uint64(id)).U16(mediumCode(m)).I64(int64(start)).I64(int64(dur)).U32(uint32(readAhead))
+// statistics. class names the QoS class ("premium", "standard",
+// "best-effort"); "" or "default" uses the server's configured default.
+func (c *Client) Play(user string, id rope.ID, m rope.Medium, start, dur time.Duration, readAhead int, class string) (PlayResult, error) {
+	e := wire.NewEncoder().Str(user).U64(uint64(id)).U16(mediumCode(m)).I64(int64(start)).I64(int64(dur)).U32(uint32(readAhead)).Str(class)
 	d, err := c.call(wire.OpPlay, e.Bytes())
 	if err != nil {
 		return PlayResult{}, err
@@ -343,6 +352,9 @@ func (c *Client) Play(user string, id rope.ID, m rope.Medium, start, dur time.Du
 		Blocks:     int(d.U32()),
 		Startup:    time.Duration(d.I64()),
 		CacheHits:  int(d.U32()),
+		Class:      d.Str(),
+		Stride:     int(d.U16()),
+		ShedBlocks: int(d.U32()),
 	}
 	return res, d.Err()
 }
@@ -502,6 +514,27 @@ type ServerStats struct {
 	Retries        uint64
 	DegradedBlocks uint64
 	FaultStops     uint64
+	// Classes is the per-QoS-class live stream population, indexed by
+	// continuity.Class (best-effort, standard, premium).
+	Classes [continuity.NumClasses]QoSClassStats
+	// Promotions, LoadDemotions, and ShedBlocks are the QoS layer's
+	// lifetime counters: streams promoted back toward full rate,
+	// demotion events (admission-time shedding plus round-pass
+	// demotions), and blocks skipped by sub-sampling.
+	Promotions    uint64
+	LoadDemotions uint64
+	ShedBlocks    uint64
+}
+
+// QoSClassStats summarizes one QoS class's live streams on the server.
+type QoSClassStats struct {
+	// Active is the class's live PLAY requests.
+	Active int
+	// Degraded is the subset currently load-shed (stride > 1).
+	Degraded int
+	// EffectiveRate is the mean delivered unit rate across the class's
+	// live plays, 0 when the class is idle.
+	EffectiveRate float64
 }
 
 // Stats fetches server statistics.
@@ -526,6 +559,16 @@ func (c *Client) Stats() (ServerStats, error) {
 		DegradedBlocks: d.U64(),
 		FaultStops:     d.U64(),
 	}
+	for c := 0; c < continuity.NumClasses; c++ {
+		st.Classes[c] = QoSClassStats{
+			Active:        int(d.U32()),
+			Degraded:      int(d.U32()),
+			EffectiveRate: d.F64(),
+		}
+	}
+	st.Promotions = d.U64()
+	st.LoadDemotions = d.U64()
+	st.ShedBlocks = d.U64()
 	return st, d.Err()
 }
 

@@ -130,7 +130,7 @@ func TestConcurrentConnections(t *testing.T) {
 				errs <- fmt.Errorf("conn %d record: %w", i, err)
 				return
 			}
-			res, err := c.Play("t", id, rope.VideoOnly, 0, 0, 2)
+			res, err := c.Play("t", id, rope.VideoOnly, 0, 0, 2, "")
 			if err != nil {
 				errs <- fmt.Errorf("conn %d play: %w", i, err)
 				return

@@ -266,6 +266,12 @@ type Decision struct {
 	// so it is excluded from the request sets of later Eq. 15/18
 	// evaluations until demoted.
 	CacheServed bool
+	// Stride is the sub-sampling stride the request was admitted at
+	// under QoS load shedding (ClassAware.Admit): 1 is full rate, a
+	// larger value means only every Stride-th block is fetched and
+	// the stream's disk charge is the Degraded() view. Zero when the
+	// deciding controller was not class-aware, or on rejection.
+	Stride int
 }
 
 // Admit runs the paper's admission control algorithm: given the

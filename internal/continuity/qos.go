@@ -1,0 +1,155 @@
+package continuity
+
+import "fmt"
+
+// This file adds quality-of-service classes to §3.4's admission
+// control. The paper's algorithm answers accept/reject; under overload
+// the interesting answer is "accept, at reduced quality". The lever is
+// §3.3.2's fast-forward-with-skipping machinery run at 1× display
+// time: fetching only every stride-th block of a strand and holding
+// each fetched block on screen for the whole stride cuts the stream's
+// disk charge by ~1/stride while its display clock — and therefore its
+// deadlines — stay untouched. A class lattice orders who degrades
+// first: best-effort before standard, and premium never.
+
+// Class is a stream's quality-of-service class. Higher values take
+// priority: under overload, lower classes are degraded (sub-sampled or
+// served cache-only) before higher ones, and freed capacity promotes
+// degraded streams back in descending class order.
+type Class uint8
+
+const (
+	// BestEffort streams are the first demoted under load and the
+	// last promoted back.
+	BestEffort Class = iota
+	// Standard streams degrade only after every best-effort stream
+	// has been pushed to its maximum stride.
+	Standard
+	// Premium streams are never degraded by load: admission either
+	// finds them full-rate capacity (shedding lower classes if
+	// needed) or rejects them outright.
+	Premium
+
+	// NumClasses sizes per-class tables.
+	NumClasses = 3
+)
+
+// String returns the class's canonical flag spelling.
+func (c Class) String() string {
+	switch c {
+	case BestEffort:
+		return "best-effort"
+	case Standard:
+		return "standard"
+	case Premium:
+		return "premium"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ParseClass parses a canonical class spelling.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "best-effort", "besteffort", "be":
+		return BestEffort, nil
+	case "standard", "std":
+		return Standard, nil
+	case "premium", "prem":
+		return Premium, nil
+	}
+	return BestEffort, fmt.Errorf("continuity: unknown QoS class %q (want premium, standard, or best-effort)", s)
+}
+
+// Degraded returns the admission-control view of a request load-shed
+// at the given sub-sampling stride: only every stride-th block is
+// fetched, and each fetched block stands in for the stride's worth of
+// display time. The per-block transfer and intra-strand positioning
+// charges scale by 1/stride (the stream touches the disk that much
+// less per round), while the worst-case switch cost in α and the
+// display-rate term γ are deliberately left at full strength — a
+// degraded stream still costs one inter-strand switch per round and
+// still displays at its recorded rate.
+func Degraded(r Request, stride int) Request {
+	if stride <= 1 {
+		return r
+	}
+	s := float64(stride)
+	r.UnitBits /= s
+	r.Scattering /= s
+	return r
+}
+
+// FeasibleTransient is the exported form of Eq. 18's test
+// n·α + n·k·β ≤ k·γ: whether the request set is serviceable at k with
+// transient-safe headroom. The per-round QoS promotion/demotion pass
+// uses it to probe candidate stride assignments against the measured
+// slack without re-running the full admission algorithm.
+func (a Admission) FeasibleTransient(reqs []Request, k int) bool {
+	return a.feasibleTransient(reqs, k)
+}
+
+// DefaultMaxStride bounds load shedding: a stream sub-sampled past
+// 1/8th of its blocks is closer to a slideshow than a video, so beyond
+// this the controller rejects rather than degrades further.
+const DefaultMaxStride = 8
+
+// ClassAware layers the QoS class lattice over a base admission
+// controller (single device) or a striped array of degree P. It is the
+// degradation-side counterpart of CacheAware: where CacheAware admits
+// overflow load for free when the cache can serve it (the first-line
+// degraded mode — a cache-only follower costs no disk time at all),
+// ClassAware admits overflow load at a sub-sampling stride when the
+// disk must still be touched.
+type ClassAware struct {
+	// A is the per-spindle (or single-device) admission controller.
+	A Admission
+	// P is the spindle count; values < 2 mean a single device.
+	P int
+	// MaxStride bounds the sub-sampling stride offered to degraded
+	// streams; 0 means DefaultMaxStride.
+	MaxStride int
+}
+
+func (c ClassAware) maxStride() int {
+	if c.MaxStride < 2 {
+		return DefaultMaxStride
+	}
+	return c.MaxStride
+}
+
+// admitFull runs the base (full-rate) admission for the candidate.
+func (c ClassAware) admitFull(perSpindle [][]Request, spindle, kOld int, candidate Request) Decision {
+	if c.P > 1 {
+		return Striped{A: c.A, P: c.P}.Admit(perSpindle, spindle, kOld, candidate)
+	}
+	return c.A.Admit(perSpindle[0], kOld, candidate)
+}
+
+// Admit runs the class-ordered admission negotiation. perSpindle lists
+// the disk-bound requests resident on each spindle — with requests that
+// are already degraded listed at their Degraded() charge — and spindle
+// locates the candidate as in Striped.Admit (a single device passes
+// one set and spindle 0). The candidate is tried at full rate first;
+// if Eq. 18 has no room and the class tolerates load shedding
+// (standard or best-effort), it is retried at doubling sub-sampling
+// strides up to MaxStride. The returned Decision's Stride records the
+// admitted quality: 1 is full rate. Premium candidates are never
+// degraded here — making room for them by demoting lower classes is
+// the storage manager's job, since it owns the live stream table.
+func (c ClassAware) Admit(perSpindle [][]Request, spindle, kOld int, candidate Request, class Class) Decision {
+	d := c.admitFull(perSpindle, spindle, kOld, candidate)
+	if d.Admitted {
+		d.Stride = 1
+		return d
+	}
+	if class > Standard {
+		return d
+	}
+	for s := 2; s <= c.maxStride(); s *= 2 {
+		if dd := c.admitFull(perSpindle, spindle, kOld, Degraded(candidate, s)); dd.Admitted {
+			dd.Stride = s
+			return dd
+		}
+	}
+	return d
+}

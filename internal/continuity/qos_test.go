@@ -1,0 +1,184 @@
+package continuity
+
+import "testing"
+
+func TestClassStringParseRoundTrip(t *testing.T) {
+	for _, c := range []Class{BestEffort, Standard, Premium} {
+		got, err := ParseClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("ParseClass(%q) = %v", c.String(), got)
+		}
+	}
+	for _, alias := range []struct {
+		in   string
+		want Class
+	}{{"be", BestEffort}, {"besteffort", BestEffort}, {"std", Standard}, {"prem", Premium}} {
+		got, err := ParseClass(alias.in)
+		if err != nil || got != alias.want {
+			t.Fatalf("ParseClass(%q) = %v, %v", alias.in, got, err)
+		}
+	}
+	if _, err := ParseClass("platinum"); err == nil {
+		t.Fatal("ParseClass accepted an unknown class")
+	}
+	if s := Class(9).String(); s != "class(9)" {
+		t.Fatalf("out-of-range String() = %q", s)
+	}
+}
+
+func TestClassOrdering(t *testing.T) {
+	if !(BestEffort < Standard && Standard < Premium) {
+		t.Fatal("class lattice order broken: want best-effort < standard < premium")
+	}
+}
+
+func TestDegradedScalesDiskChargeOnly(t *testing.T) {
+	r := videoRequest()
+	d := Degraded(r, 4)
+	if d.UnitBits != r.UnitBits/4 {
+		t.Fatalf("unit bits %g, want %g", d.UnitBits, r.UnitBits/4)
+	}
+	if d.Scattering != r.Scattering/4 {
+		t.Fatalf("scattering %g, want %g", d.Scattering, r.Scattering/4)
+	}
+	// The display-rate term γ must not move: deadlines are unchanged.
+	if d.BlockDuration() != r.BlockDuration() {
+		t.Fatalf("block duration moved: %g → %g", r.BlockDuration(), d.BlockDuration())
+	}
+	if got := Degraded(r, 1); got != r {
+		t.Fatal("stride 1 must be the identity")
+	}
+	if got := Degraded(r, 0); got != r {
+		t.Fatal("stride 0 must be the identity")
+	}
+}
+
+// Degrading a population must strictly widen Eq. 18's slack and raise
+// the admissible population: that is the whole point of load shedding.
+func TestDegradedWidensSlack(t *testing.T) {
+	a := AdmissionFor(testDevice())
+	nmax := a.NMax(videoRequest())
+	full := repeatReq(videoRequest(), nmax)
+	k, ok := a.KTransient(full)
+	if !ok {
+		t.Fatal("full population infeasible")
+	}
+	shed := make([]Request, nmax)
+	for i := range shed {
+		shed[i] = Degraded(videoRequest(), 2)
+	}
+	if a.SlackSeconds(shed, k) <= a.SlackSeconds(full, k) {
+		t.Fatal("degrading the population did not widen the slack")
+	}
+	// The saturated full-rate set rejects one more stream, but the
+	// same set with every stream shed at stride 2 accepts it.
+	if d := a.Admit(full, k, videoRequest()); d.Admitted {
+		t.Fatal("n_max+1 full-rate stream admitted")
+	}
+	if d := a.Admit(shed, k, Degraded(videoRequest(), 2)); !d.Admitted {
+		t.Fatalf("degraded overflow stream rejected: %s", d.Reason)
+	}
+}
+
+func TestFeasibleTransientMatchesKTransient(t *testing.T) {
+	a := AdmissionFor(testDevice())
+	reqs := repeatReq(videoRequest(), 4)
+	k, ok := a.KTransient(reqs)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if !a.FeasibleTransient(reqs, k) {
+		t.Fatalf("KTransient's own k=%d not feasible", k)
+	}
+	if k > 1 && a.FeasibleTransient(reqs, k-1) {
+		t.Fatalf("k=%d feasible below KTransient's minimum %d", k-1, k)
+	}
+	if a.FeasibleTransient(reqs, 0) {
+		t.Fatal("k=0 reported feasible")
+	}
+}
+
+func TestClassAwareAdmit(t *testing.T) {
+	a := AdmissionFor(testDevice())
+	nmax := a.NMax(videoRequest())
+	full := repeatReq(videoRequest(), nmax)
+	k, _ := a.KTransient(full)
+	ca := ClassAware{A: a}
+	set := [][]Request{full}
+
+	for _, tc := range []struct {
+		name  string
+		class Class
+	}{{"best-effort degrades", BestEffort}, {"standard degrades", Standard}} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := ca.Admit(set, 0, k, videoRequest(), tc.class)
+			if !d.Admitted {
+				t.Fatalf("rejected: %s", d.Reason)
+			}
+			if d.Stride < 2 || d.Stride > DefaultMaxStride {
+				t.Fatalf("stride = %d outside (1, %d]", d.Stride, DefaultMaxStride)
+			}
+			// The stride must be minimal: one notch less must not fit.
+			if half := a.Admit(full, k, Degraded(videoRequest(), d.Stride/2)); half.Admitted {
+				t.Fatalf("stride %d admitted but %d would have sufficed", d.Stride, d.Stride/2)
+			}
+		})
+	}
+	t.Run("premium rejects rather than degrade", func(t *testing.T) {
+		d := ca.Admit(set, 0, k, videoRequest(), Premium)
+		if d.Admitted || d.Stride != 0 {
+			t.Fatalf("admitted=%v stride=%d, want rejection", d.Admitted, d.Stride)
+		}
+	})
+
+	// With room to spare, every class is admitted at full rate.
+	few := repeatReq(videoRequest(), 1)
+	kFew, _ := a.KTransient(few)
+	for _, c := range []Class{BestEffort, Standard, Premium} {
+		d := ca.Admit([][]Request{few}, 0, kFew, videoRequest(), c)
+		if !d.Admitted || d.Stride != 1 {
+			t.Fatalf("class %v under light load: admitted=%v stride=%d", c, d.Admitted, d.Stride)
+		}
+	}
+}
+
+// Past MaxStride the controller gives up: a population so oversubscribed
+// that even 1/MaxStride sub-sampling cannot fit is rejected.
+func TestClassAwareMaxStrideBound(t *testing.T) {
+	a := AdmissionFor(testDevice())
+	nmax := a.NMax(videoRequest())
+	// 3× oversubscribed at full rate: the modest stride-2 relief the
+	// tightened MaxStride allows cannot make Eq. 18 hold.
+	ca := ClassAware{A: a, MaxStride: 2}
+	d := ca.Admit([][]Request{repeatReq(videoRequest(), 3*nmax)}, 0, 4, videoRequest(), BestEffort)
+	if d.Admitted {
+		t.Fatal("admitted into a population beyond MaxStride relief")
+	}
+	if ca.maxStride() != 2 {
+		t.Fatalf("maxStride() = %d", ca.maxStride())
+	}
+	if (ClassAware{A: a}).maxStride() != DefaultMaxStride {
+		t.Fatal("zero MaxStride should default")
+	}
+}
+
+// On a striped array the class-aware controller degrades against the
+// candidate's home spindle only: a full spindle triggers shedding even
+// when the other spindles are idle, exactly as Striped.Admit rejects.
+func TestClassAwareStriped(t *testing.T) {
+	a := AdmissionFor(testDevice())
+	nmax := a.NMax(videoRequest())
+	full := repeatReq(videoRequest(), nmax)
+	k, _ := a.KTransient(full)
+	ca := ClassAware{A: a, P: 2}
+	set := [][]Request{full, nil}
+	if d := ca.Admit(set, 0, k, videoRequest(), BestEffort); !d.Admitted || d.Stride < 2 {
+		t.Fatalf("full spindle: admitted=%v stride=%d (%s)", d.Admitted, d.Stride, d.Reason)
+	}
+	if d := ca.Admit(set, 1, k, videoRequest(), BestEffort); !d.Admitted || d.Stride != 1 {
+		t.Fatalf("idle spindle: admitted=%v stride=%d (%s)", d.Admitted, d.Stride, d.Reason)
+	}
+}

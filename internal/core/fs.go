@@ -84,6 +84,16 @@ type Options struct {
 	// resident there degrade). Out-of-range values clamp to 0. With a
 	// single disk the scenario wraps the whole media path as before.
 	FaultSpindle int
+	// QoSMaxStride enables QoS load shedding when ≥ 2: under overload,
+	// standard and best-effort plays are admitted sub-sampled (at
+	// power-of-two strides up to this bound) instead of rejected, and a
+	// per-round pass promotes/demotes them as measured slack changes.
+	// 0 (and 1) keep admission binary accept/reject.
+	QoSMaxStride int
+	// QoSDefault is the class assigned to PLAY requests that do not
+	// name one. The zero value is best-effort; servers that want a
+	// friendlier default set Standard.
+	QoSDefault continuity.Class
 }
 
 func (o Options) withDefaults() Options {
@@ -260,6 +270,9 @@ func build(opts Options, d disk.Store, a *alloc.Allocator) *FS {
 	}
 	if opts.FaultPolicy != nil {
 		fs.mgr.SetFaultPolicy(*opts.FaultPolicy)
+	}
+	if opts.QoSMaxStride >= 2 {
+		fs.mgr.SetQoS(msm.QoSPolicy{MaxStride: opts.QoSMaxStride})
 	}
 	fs.obsReg = obs.NewRegistry()
 	fs.obsRing = obs.NewTraceRing(obs.DefaultTraceRounds)
@@ -472,6 +485,9 @@ func (fs *FS) NewManager() *msm.Manager {
 	}
 	if fs.opts.FaultPolicy != nil {
 		fs.mgr.SetFaultPolicy(*fs.opts.FaultPolicy)
+	}
+	if fs.opts.QoSMaxStride >= 2 {
+		fs.mgr.SetQoS(msm.QoSPolicy{MaxStride: fs.opts.QoSMaxStride})
 	}
 	fs.wireObs()
 	return fs.mgr

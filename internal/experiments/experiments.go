@@ -24,6 +24,15 @@ import (
 	"mmfs/internal/strand"
 )
 
+// seedBase offsets every seeded chaos workload (EXP-FT, EXP-STRIPE,
+// EXP-QOS); cmd/mmexperiments -seed sets it so the nightly chaos loop
+// replays the same experiments under distinct deterministic storms.
+var seedBase int64
+
+// SetSeedBase installs the workload seed offset (0 restores the
+// default seeds).
+func SetSeedBase(s int64) { seedBase = s }
+
 // Result is one experiment's rendered outcome.
 type Result struct {
 	// ID is the experiment identifier from DESIGN.md (e.g. "EXP-F4").
@@ -103,6 +112,7 @@ func All() []Result {
 		IntervalCache(),
 		FaultTolerance(),
 		Stripe(),
+		QoS(),
 	}
 }
 
@@ -128,6 +138,7 @@ func ByID(id string) (func() Result, bool) {
 		"ic":     IntervalCache,
 		"ft":     FaultTolerance,
 		"stripe": Stripe,
+		"qos":    QoS,
 	}
 	f, ok := m[strings.ToLower(id)]
 	return f, ok

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mmfs/internal/continuity"
+	"mmfs/internal/msm"
 )
 
 // cell parses a table cell as an int, tolerating decorations.
@@ -35,7 +36,7 @@ func TestRenderProducesTable(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft", "stripe"} {
+	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft", "stripe", "qos"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("experiment %q unknown", id)
 		}
@@ -411,6 +412,104 @@ func TestFaultTolerance(t *testing.T) {
 	for _, row := range res.Rows[1:] {
 		if cellInt(t, row[4]) == 0 {
 			t.Fatalf("%s: storm injected no faults", row[0])
+		}
+	}
+}
+
+func TestQoS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diurnal load simulation")
+	}
+	res := QoS()
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	// Columns: phase, offered, admitted, rejected, degraded, recovered,
+	// prem viol, shed blk.
+	offPeak, peak, drain, base := res.Rows[0], res.Rows[1], res.Rows[2], res.Rows[3]
+	if cellInt(t, offPeak[1]) != cellInt(t, offPeak[2]) || cellInt(t, offPeak[4]) != 0 {
+		t.Fatalf("off-peak load not admitted clean at full rate: %v", offPeak)
+	}
+	if cellInt(t, peak[4]) == 0 {
+		t.Fatalf("no stream degraded at peak: %v", peak)
+	}
+	if cellInt(t, drain[5]) == 0 {
+		t.Fatalf("no degraded stream recovered to full rate off-peak: %v", drain)
+	}
+	if cellInt(t, drain[6]) != 0 {
+		t.Fatalf("premium streams disturbed: %v", drain)
+	}
+	if cellInt(t, base[3]) == 0 {
+		t.Fatalf("baseline rejected nothing — overload too weak: %v", base)
+	}
+	qosServed := cellInt(t, offPeak[2]) + cellInt(t, peak[2])
+	if qosServed <= cellInt(t, base[2]) {
+		t.Fatalf("QoS served %d streams, baseline %s — shedding bought nothing", qosServed, base[2])
+	}
+}
+
+// TestQoSPeakRound drives just the overloaded peak of EXP-QOS — class
+// negotiation, shedding, and the per-round class pass — on a small
+// two-spindle rig. It is the CI race detector's entry point for the
+// QoS layer, so it stays fast.
+func TestQoSPeakRound(t *testing.T) {
+	const p = 2
+	r := newQoSRig(p)
+	adm := continuity.AdmissionFor(r.dev)
+	tmpl := continuity.Request{
+		Name: "video", Granularity: 3, UnitBits: frameBytes * 8, Rate: 30,
+		Scattering: r.scattering(),
+	}
+	feasible := func(n, k int) bool {
+		set := make([]continuity.Request, n)
+		for i := range set {
+			set[i] = tmpl
+		}
+		return adm.FeasibleTransient(set, k)
+	}
+	k := 1
+	for !feasible(3, k) {
+		k++
+	}
+	if feasible(6, k) {
+		t.Skip("device admits the whole burst at full rate; peak cannot overload")
+	}
+	mgr := msm.New(r.arr, adm)
+	mgr.SetPolicy(msm.NaiveJump)
+	mgr.ForceK(k)
+	mgr.SetQoS(msm.QoSPolicy{MaxStride: continuity.DefaultMaxStride})
+	classes := []continuity.Class{
+		continuity.BestEffort, continuity.Standard,
+		continuity.BestEffort, continuity.Standard,
+		continuity.Premium, continuity.BestEffort,
+	}
+	degraded := 0
+	for sp := 0; sp < p; sp++ {
+		for i, c := range classes {
+			a := qosArrival{s: r.record(sp, 150), class: c}
+			_, dec, err := mgr.AdmitPlay(r.planClassed(a, k))
+			if err != nil {
+				t.Fatalf("spindle %d arrival %d (%v): %v", sp, i, c, err)
+			}
+			mgr.ForceK(k)
+			if dec.Stride > 1 {
+				degraded++
+			}
+		}
+		mgr.RunRound()
+	}
+	if degraded == 0 && mgr.Stats().LoadDemotions == 0 {
+		t.Fatal("overloaded peak triggered no degradation and no shedding")
+	}
+	mgr.RunUntilDone()
+	st := mgr.Stats()
+	if st.ShedBlocks == 0 {
+		t.Fatal("no blocks were shed by sub-sampled service")
+	}
+	qs := mgr.QoSStats()
+	for c := range qs {
+		if qs[c].Active != 0 {
+			t.Fatalf("class %v still active after RunUntilDone", continuity.Class(c))
 		}
 	}
 }

@@ -44,16 +44,16 @@ func FaultTolerance() Result {
 		streams int
 	}{
 		{"off", nmax},
-		{"seed=7,readerr=0.02", nmax},
-		{"seed=7,readerr=0.05,slow=0.05x3", nmax},
-		{"seed=7,readerr=0.05", half}, // half load: Eq. 18 slack funds retries
+		{fmt.Sprintf("seed=%d,readerr=0.02", 7+seedBase), nmax},
+		{fmt.Sprintf("seed=%d,readerr=0.05,slow=0.05x3", 7+seedBase), nmax},
+		{fmt.Sprintf("seed=%d,readerr=0.05", 7+seedBase), half}, // half load: Eq. 18 slack funds retries
 		{"", nmax},
 	}
 	for rowIdx, row := range rows {
 		r := newRig()
 		strands := make([]*strand.Strand, row.streams)
 		for i := range strands {
-			_, strands[i] = r.recordVideoRope(10, int64(6100+100*rowIdx+i))
+			_, strands[i] = r.recordVideoRope(10, seedBase+int64(6100+100*rowIdx+i))
 		}
 		var sc fault.Scenario
 		var err error
@@ -65,7 +65,7 @@ func FaultTolerance() Result {
 			if berr != nil {
 				panic(berr)
 			}
-			sc = fault.Scenario{Seed: 7, BadSectors: []fault.SectorRange{{Start: int(e.Sector), Count: 2}}}
+			sc = fault.Scenario{Seed: 7 + seedBase, BadSectors: []fault.SectorRange{{Start: int(e.Sector), Count: 2}}}
 		} else if sc, err = fault.ParseScenario(row.spec); err != nil {
 			panic(err)
 		}

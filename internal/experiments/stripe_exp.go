@@ -148,7 +148,7 @@ func Stripe() Result {
 
 		strands := make([]*strand.Strand, total)
 		for j := range strands {
-			strands[j] = r.recordOn(j%p, (j/p)*stripeCyl, 300, int64(7000+100*p+j))
+			strands[j] = r.recordOn(j%p, (j/p)*stripeCyl, 300, seedBase+int64(7000+100*p+j))
 		}
 
 		// Admission math on a gate manager that runs no rounds while
@@ -164,7 +164,7 @@ func Stripe() Result {
 			}
 			admitted++
 		}
-		extra := r.recordOn(0, nmax*stripeCyl, 300, int64(7900+p))
+		extra := r.recordOn(0, nmax*stripeCyl, 300, seedBase+int64(7900+p))
 		if _, _, err := gate.AdmitPlay(r.plan(extra)); !errors.Is(err, msm.ErrAdmissionRejected) {
 			panic(fmt.Sprintf("experiments: EXP-STRIPE p=%d: stream %d should exceed the spindle's n_max, got %v", p, total, err))
 		}
@@ -197,12 +197,12 @@ func Stripe() Result {
 	// the degradation ladder (zero-fill, then an escalation stop); the
 	// other spindles' sub-rounds never see the faults.
 	const sick = 1
-	r := newStripeRig(4, sick, fault.Scenario{Seed: 42, ReadErrorRate: 1})
+	r := newStripeRig(4, sick, fault.Scenario{Seed: 42 + seedBase, ReadErrorRate: 1})
 	adm := continuity.AdmissionFor(r.dev)
 	mgr := msm.New(r.arr, adm)
 	ids := make([]msm.RequestID, 4)
 	for sp := 0; sp < 4; sp++ {
-		s := r.recordOn(sp, 0, 150, int64(8400+sp))
+		s := r.recordOn(sp, 0, 150, seedBase+int64(8400+sp))
 		var err error
 		if ids[sp], _, err = mgr.AdmitPlay(r.plan(s)); err != nil {
 			panic(err)

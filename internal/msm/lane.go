@@ -46,6 +46,7 @@ type laneStats struct {
 	degradedBlocks uint64
 	faultStops     uint64
 	violations     uint64
+	shedBlocks     uint64
 }
 
 // lane is one spindle's service context. The manager also keeps one
@@ -112,6 +113,7 @@ func (ln *lane) flushStats() {
 	s.DegradedBlocks += ln.stats.degradedBlocks
 	s.FaultStops += ln.stats.faultStops
 	s.Violations += ln.stats.violations
+	s.ShedBlocks += ln.stats.shedBlocks
 	ln.stats = laneStats{}
 }
 
@@ -289,14 +291,34 @@ func (ln *lane) servicePlay(r *request, k int) bool {
 	ps := r.play
 	fetched := 0
 	for fetched < k {
+		// Load-shed sub-sampling: advance for free past the blocks the
+		// stride drops. The retained neighbor already covers their
+		// display time (it repeats on screen), so they occupy no buffer,
+		// cost no disk time, and can never be late.
+		if ps.stride > 1 {
+			for ps.nextFetch < len(ps.plan.Blocks) && (ps.nextFetch-ps.strideBase)%ps.stride != 0 {
+				ps.nextFetch++
+				ps.shed++
+				ln.stats.shedBlocks++
+				if m.obs != nil {
+					m.obs.shedBlocks.Inc()
+				}
+			}
+		}
 		if ps.nextFetch >= len(ps.plan.Blocks) {
 			break
 		}
 		if ps.started && ps.occupancyAt(ln.now()) >= ps.plan.Buffers {
 			break // regulation: never overflow the display subsystem
 		}
-		// Determine the parallel batch size.
+		// Determine the parallel batch size. A load-shed stream fetches
+		// one block at a time: its plan is only valid at every
+		// stride-th index, so a contiguous multi-head batch would pull
+		// in blocks the stride skips.
 		batch := m.concurrency
+		if ps.stride > 1 {
+			batch = 1
+		}
 		if batch > k-fetched {
 			batch = k - fetched
 		}
@@ -732,10 +754,10 @@ func (m *Manager) fillSpindleAdmissionSets() {
 			continue
 		}
 		if sp, ok := m.requestSpindle(r); ok {
-			m.lanes[sp].admSet = alloc.Append(m.lanes[sp].admSet, r.adm)
+			m.lanes[sp].admSet = alloc.Append(m.lanes[sp].admSet, r.effAdm())
 		} else {
 			for _, ln := range m.lanes {
-				ln.admSet = alloc.Append(ln.admSet, r.adm)
+				ln.admSet = alloc.Append(ln.admSet, r.effAdm())
 			}
 		}
 	}

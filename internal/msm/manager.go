@@ -87,6 +87,17 @@ type Stats struct {
 	// FaultStops counts requests stopped after ConsecFailLimit
 	// consecutive degraded deliveries (the escalation tier).
 	FaultStops uint64
+	// Promotions counts QoS promotions: a load-shed stream stepped
+	// back toward full rate by freed capacity.
+	Promotions uint64
+	// LoadDemotions counts QoS load-shed demotions: admission-time
+	// shedding for a higher-class candidate plus round-pass demotions
+	// under rising load.
+	LoadDemotions uint64
+	// ShedBlocks counts plan blocks skipped (never fetched) by
+	// load-shed sub-sampling; the retained neighbor covers their
+	// display time.
+	ShedBlocks uint64
 }
 
 // FaultPolicy configures the manager's fault-tolerant service path.
@@ -163,6 +174,13 @@ type Manager struct {
 	// obs, when set, receives per-round trace records and mirrors the
 	// counters into a metrics registry (see obs.go).
 	obs *roundObs
+	// qos enables load-driven graceful degradation (see qos.go); the
+	// zero policy keeps admission binary. inQoS guards the per-round
+	// class pass against re-entry from an admission negotiation's
+	// transition rounds; scratchQoS is the promotion queue's arena.
+	qos        QoSPolicy
+	inQoS      bool
+	scratchQoS []*request
 }
 
 // New creates a manager over the disk with the given admission
@@ -268,7 +286,7 @@ func (m *Manager) admissionSet() []continuity.Request {
 		if r.pause != nil && r.pause.destructive {
 			continue
 		}
-		out = alloc.Append(out, r.adm)
+		out = alloc.Append(out, r.effAdm())
 	}
 	m.scratchAdm = out
 	return out
@@ -304,16 +322,8 @@ func (m *Manager) CacheServed() int {
 // admitted load can reach p times the single-spindle n_max. On a
 // single device spindle is ignored.
 func (m *Manager) admit(spindle int, candidate continuity.Request, cacheServed bool) (continuity.Decision, error) {
-	var dec continuity.Decision
-	if m.array != nil && !cacheServed {
-		st := continuity.Striped{A: m.adm, P: len(m.lanes)}
-		dec = st.Admit(m.spindleAdmissionSets(), spindle, m.k, candidate)
-		m.noteAdmission(dec.Admitted, false)
-	} else {
-		ca := continuity.CacheAware{A: m.adm}
-		dec = ca.Admit(m.admissionSet(), m.k, candidate, cacheServed)
-		m.noteAdmission(dec.Admitted, dec.CacheServed)
-	}
+	dec := m.decideAdmit(spindle, candidate, cacheServed)
+	m.noteAdmission(dec.Admitted, dec.CacheServed)
 	if !dec.Admitted {
 		//lint:ignore allocpath admission rejection wraps the reason once, on the error path
 		return dec, fmt.Errorf("%w: %s", ErrAdmissionRejected, dec.Reason)
@@ -353,6 +363,18 @@ func (m *Manager) admit(spindle int, candidate continuity.Request, cacheServed b
 	return dec, nil
 }
 
+// decideAdmit evaluates the admission decision for a candidate without
+// side effects: no transition rounds, no counters. The QoS negotiation
+// uses it to probe shed/degrade combinations before committing.
+func (m *Manager) decideAdmit(spindle int, candidate continuity.Request, cacheServed bool) continuity.Decision {
+	if m.array != nil && !cacheServed {
+		st := continuity.Striped{A: m.adm, P: len(m.lanes)}
+		return st.Admit(m.spindleAdmissionSets(), spindle, m.k, candidate)
+	}
+	ca := continuity.CacheAware{A: m.adm}
+	return ca.Admit(m.admissionSet(), m.k, candidate, cacheServed)
+}
+
 // growPlayBuffers raises every live play request's buffer grant to at
 // least n blocks.
 func (m *Manager) growPlayBuffers(n int) {
@@ -378,9 +400,21 @@ func (m *Manager) AdmitPlay(plan PlayPlan) (RequestID, continuity.Decision, erro
 	sid, first, end, eligible := planCacheRange(plan)
 	eligible = eligible && m.cache != nil
 	cacheServed := eligible && m.cache.Adoptable(sid, first, plan.Admission.Rate)
-	dec, err := m.admit(m.planSpindle(plan), plan.Admission, cacheServed)
+	var dec continuity.Decision
+	var err error
+	if m.qosEnabled() && !cacheServed {
+		// Class-ordered negotiation: full rate, then shedding lower
+		// classes, then sub-sampled admission of the candidate itself.
+		dec, err = m.admitClassed(m.planSpindle(plan), plan.Admission, plan.Class)
+	} else {
+		dec, err = m.admit(m.planSpindle(plan), plan.Admission, cacheServed)
+	}
 	if err != nil {
 		return 0, dec, err
+	}
+	stride := dec.Stride
+	if stride < 1 {
+		stride = 1
 	}
 	ra := plan.ReadAhead
 	if ra < 1 {
@@ -397,7 +431,7 @@ func (m *Manager) AdmitPlay(plan PlayPlan) (RequestID, continuity.Decision, erro
 		// it for those rounds.
 		plan.Buffers = 2 * m.k
 	}
-	ps := &playState{plan: plan, readAhead: ra}
+	ps := &playState{plan: plan, readAhead: ra, stride: stride}
 	ps.deadlines = make([]time.Duration, len(plan.Blocks)+1)
 	var sum time.Duration
 	for i, b := range plan.Blocks {
@@ -408,11 +442,18 @@ func (m *Manager) AdmitPlay(plan PlayPlan) (RequestID, continuity.Decision, erro
 	if eligible {
 		ps.cacheEligible, ps.cacheSID, ps.cacheEnd = true, sid, end
 	}
-	r := &request{id: m.newID(), kind: Play, name: plan.Name, adm: plan.Admission, play: ps}
+	r := &request{id: m.newID(), kind: Play, name: plan.Name, adm: plan.Admission, play: ps, class: plan.Class}
 	m.reqs = append(m.reqs, r)
-	if eligible {
+	if m.obs != nil {
+		m.obs.classAdmitted[r.class].Inc()
+		m.obs.effRate.Observe(plan.Admission.Rate / float64(stride))
+	}
+	if eligible && stride == 1 {
 		// Register the play position: disk-bound eligible requests
-		// become potential leaders (their fetches feed the cache).
+		// become potential leaders (their fetches feed the cache). A
+		// load-shed stream cannot lead — its skipped blocks would
+		// starve any follower — so it joins the cache only if promoted
+		// back to full rate.
 		m.cache.OpenStream(uint64(r.id), sid, first, end, plan.Admission.Rate)
 		ps.cacheOpen = true
 		if dec.CacheServed {
@@ -610,6 +651,10 @@ func (m *Manager) Progress(id RequestID) (Progress, error) {
 		p.CacheServed = r.cacheServed
 		p.DegradedBlocks = r.play.degraded
 		p.ConsecFaults = r.consecFails
+		p.Class = r.class
+		p.Stride = strideOf(r.play)
+		p.ShedBlocks = r.play.shed
+		p.EffectiveRate = r.adm.Rate / float64(strideOf(r.play))
 	default:
 		p.Violations = len(r.rec.violations)
 		p.BlocksServed = r.rec.nextWrite
@@ -640,6 +685,7 @@ func (m *Manager) active() []*request {
 // rt:hotpath
 func (m *Manager) RunRound() bool {
 	m.processDemotions()
+	m.classPass()
 	act := m.active()
 	if len(act) == 0 {
 		return false

@@ -1,8 +1,10 @@
 package msm
 
 import (
+	"fmt"
 	"time"
 
+	"mmfs/internal/continuity"
 	"mmfs/internal/obs"
 )
 
@@ -27,6 +29,18 @@ type roundObs struct {
 
 	kGauge, activeGauge, cacheServedGauge *obs.Gauge
 	retrySlackGauge                       *obs.Gauge
+
+	// QoS: per-class admission/promotion/demotion counters, per-class
+	// live and degraded stream gauges, the load-shed skip counter, and
+	// the effective-rate histogram sampled at every admission,
+	// promotion, and demotion.
+	classAdmitted  [continuity.NumClasses]*obs.Counter
+	promotions     [continuity.NumClasses]*obs.Counter
+	classDemotions [continuity.NumClasses]*obs.Counter
+	classActive    [continuity.NumClasses]*obs.Gauge
+	classDegraded  [continuity.NumClasses]*obs.Gauge
+	shedBlocks     *obs.Counter
+	effRate        *obs.Histogram
 
 	// last* are the cumulative values already attributed to recorded
 	// rounds.
@@ -62,6 +76,16 @@ func (m *Manager) SetObs(reg *obs.Registry, ring *obs.TraceRing) {
 		activeGauge:      reg.Gauge("mmfs_active_requests"),
 		cacheServedGauge: reg.Gauge("mmfs_cache_served_requests"),
 		retrySlackGauge:  reg.Gauge("mmfs_retry_slack_ns"),
+		shedBlocks:       reg.Counter("mmfs_qos_shed_blocks_total"),
+		effRate:          reg.Histogram("mmfs_qos_effective_rate_units", qosRateBuckets()),
+	}
+	for c := 0; c < continuity.NumClasses; c++ {
+		label := continuity.Class(c).String()
+		o.classAdmitted[c] = reg.Counter(fmt.Sprintf("mmfs_qos_admitted_total{class=%q}", label))
+		o.promotions[c] = reg.Counter(fmt.Sprintf("mmfs_qos_promotions_total{class=%q}", label))
+		o.classDemotions[c] = reg.Counter(fmt.Sprintf("mmfs_qos_demotions_total{class=%q}", label))
+		o.classActive[c] = reg.Gauge(fmt.Sprintf("mmfs_qos_streams{class=%q}", label))
+		o.classDegraded[c] = reg.Gauge(fmt.Sprintf("mmfs_qos_degraded_streams{class=%q}", label))
 	}
 	// Anchor the deltas: work done before SetObs is not re-attributed.
 	o.lastBlocks, o.lastWritten = m.stats.BlocksFetched, m.stats.BlocksWritten
@@ -107,6 +131,22 @@ func (m *Manager) recordRound(start time.Duration, kAtStart, active, cacheServed
 	o.activeGauge.Set(int64(active))
 	o.cacheServedGauge.Set(int64(cacheServed))
 	o.retrySlackGauge.Set(int64(m.retrySlack))
+	if m.qosEnabled() {
+		var act, deg [continuity.NumClasses]int64
+		for _, r := range m.reqs {
+			if r.kind != Play || r.done {
+				continue
+			}
+			act[r.class]++
+			if r.play.stride > 1 {
+				deg[r.class]++
+			}
+		}
+		for c := 0; c < continuity.NumClasses; c++ {
+			o.classActive[c].Set(act[c])
+			o.classDegraded[c].Set(deg[c])
+		}
+	}
 	o.lastBlocks, o.lastWritten = m.stats.BlocksFetched, m.stats.BlocksWritten
 	o.lastHits, o.lastViol = m.stats.CacheHits, m.stats.Violations
 	o.lastRetries, o.lastDegrade = m.stats.Retries, m.stats.DegradedBlocks

@@ -27,6 +27,10 @@ type PlanOptions struct {
 	// Scattering overrides the admission-control scattering estimate
 	// for the strand; 0 measures the strand's realized maximum.
 	Scattering float64
+	// Class is the request's QoS class (zero value is best-effort; see
+	// continuity.Class). Only meaningful when the manager has QoS
+	// enabled.
+	Class continuity.Class
 }
 
 // PlanStrandPlay compiles a whole-strand PLAY plan: one planned block
@@ -158,6 +162,7 @@ func PlanIntervalPlay(d disk.Device, ivs []IntervalRef, opts PlanOptions) (PlayP
 		},
 		Buffers:   buffers,
 		ReadAhead: ra,
+		Class:     opts.Class,
 	}, nil
 }
 
@@ -251,6 +256,7 @@ func PlanBlocksPlay(d disk.Device, name string, blocks []PlannedBlock, adm conti
 		Admission: adm,
 		Buffers:   buffers,
 		ReadAhead: ra,
+		Class:     opts.Class,
 	}, nil
 }
 

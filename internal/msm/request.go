@@ -70,6 +70,11 @@ type PlayPlan struct {
 	// starts (the anti-jitter delay of §3.3.1). It is clamped to
 	// Buffers and to the plan length.
 	ReadAhead int
+	// Class is the request's QoS class. It only matters when the
+	// manager has QoS enabled (SetQoS): under overload, standard and
+	// best-effort plays may then be admitted load-shed instead of
+	// rejected, and are demoted before higher classes when load rises.
+	Class continuity.Class
 }
 
 // Validate reports an error for an unusable plan.
@@ -135,12 +140,20 @@ const (
 	// faults exhausted the round's retry budget; the stream stays
 	// admitted (graceful degradation instead of an aborted play).
 	CauseDegraded
+	// CauseLoadShed marks the moment rising load demoted the stream to
+	// a coarser sub-sampling stride (QoS load shedding). One violation
+	// records each quality-change event; the individual skipped blocks
+	// are counted (Stats.ShedBlocks), not listed.
+	CauseLoadShed
 )
 
 // String names the cause.
 func (c Cause) String() string {
-	if c == CauseDegraded {
+	switch c {
+	case CauseDegraded:
 		return "degraded"
+	case CauseLoadShed:
+		return "load-shed"
 	}
 	return "late"
 }
@@ -188,6 +201,9 @@ type request struct {
 	// resets on every clean disk read and on Resume, and reaching
 	// FaultPolicy.ConsecFailLimit escalates degradation to a stop.
 	consecFails int
+	// class is the request's QoS class (plays only; records are
+	// always charged at full rate).
+	class continuity.Class
 }
 
 // playState tracks a PLAY request.
@@ -215,6 +231,16 @@ type playState struct {
 	// degraded counts the blocks delivered as zero-fill because disk
 	// faults exhausted the retry budget.
 	degraded int
+	// QoS load-shed state: stride > 1 means the stream is sub-sampled
+	// (§3.3.2's skipping machinery run at 1× display time) — only
+	// every stride-th plan block counted from strideBase is fetched,
+	// the retained neighbor covering the skipped blocks' display
+	// time. strideBase re-anchors to nextFetch on every promote or
+	// demote so the pattern stays aligned with the play position; shed
+	// counts the blocks skipped this way.
+	stride     int
+	strideBase int
+	shed       int
 }
 
 // recordState tracks a RECORD request.
@@ -259,6 +285,16 @@ type Progress struct {
 	// ConsecFaults is the current consecutive-degradation count toward
 	// the escalation threshold; Resume resets it.
 	ConsecFaults int
+	// Class is the request's QoS class.
+	Class continuity.Class
+	// Stride is the current QoS sub-sampling stride: 1 is full rate,
+	// s > 1 means only every s-th block is fetched (load shedding).
+	Stride int
+	// ShedBlocks is blocks skipped by load-shed sub-sampling.
+	ShedBlocks int
+	// EffectiveRate is the stream's current delivered unit rate,
+	// Admission.Rate divided by the stride.
+	EffectiveRate float64
 }
 
 // planCacheRange reports the strand block range a play plan covers

@@ -56,7 +56,7 @@ func TestConcurrentCachedPlays(t *testing.T) {
 				return
 			}
 			defer func() { _ = c.Close() }()
-			results[i], errs[i] = c.Play("anita", id, rope.VideoOnly, 0, 0, 2)
+			results[i], errs[i] = c.Play("anita", id, rope.VideoOnly, 0, 0, 2, "")
 		}(i)
 	}
 	wg.Wait()

@@ -75,7 +75,7 @@ func TestMetricsOverWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Play("venkat", id, rope.VideoOnly, 0, 0, 2); err != nil {
+	if _, err := c.Play("venkat", id, rope.VideoOnly, 0, 0, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 

@@ -78,7 +78,7 @@ func TestConcurrentClients(t *testing.T) {
 					errs <- fmt.Errorf("worker %d info: %w", w, err)
 					return
 				}
-				res, err := c2.Play("owner", id, rope.VideoOnly, 0, 0, 2)
+				res, err := c2.Play("owner", id, rope.VideoOnly, 0, 0, 2, "")
 				if err != nil {
 					errs <- fmt.Errorf("worker %d play: %w", w, err)
 					return
@@ -194,7 +194,7 @@ func TestNetworkHeterogeneousRecord(t *testing.T) {
 	if info.Strands != 1 {
 		t.Fatalf("heterogeneous rope has %d strands, want 1", info.Strands)
 	}
-	res, err := c.Play("het", id, rope.AudioVisual, 0, 0, 2)
+	res, err := c.Play("het", id, rope.AudioVisual, 0, 0, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestNetworkTriggersAndFlatten(t *testing.T) {
 	if info.Intervals != 1 {
 		t.Fatalf("%d intervals after flatten", info.Intervals)
 	}
-	res, err := c.Play("ed", r1, rope.VideoOnly, 0, 0, 2)
+	res, err := c.Play("ed", r1, rope.VideoOnly, 0, 0, 2, "")
 	if err != nil || res.Violations != 0 {
 		t.Fatalf("post-flatten play: %v, %d violations", err, res.Violations)
 	}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"mmfs/internal/continuity"
 	"mmfs/internal/core"
 	"mmfs/internal/media"
 	"mmfs/internal/msm"
@@ -484,10 +485,17 @@ func (s *Server) play(d *wire.Decoder, e *wire.Encoder) error {
 	start := time.Duration(d.I64())
 	dur := time.Duration(d.I64())
 	readAhead := int(d.U32())
+	className := d.Str()
 	if d.Err() != nil {
 		return d.Err()
 	}
-	h, err := s.fs.Play(user, id, medium, start, dur, msm.PlanOptions{ReadAhead: readAhead})
+	class := s.fs.Options().QoSDefault
+	if className != "" && className != "default" {
+		if class, err = continuity.ParseClass(className); err != nil {
+			return err
+		}
+	}
+	h, err := s.fs.Play(user, id, medium, start, dur, msm.PlanOptions{ReadAhead: readAhead, Class: class})
 	if err != nil {
 		return err
 	}
@@ -496,7 +504,8 @@ func (s *Server) play(d *wire.Decoder, e *wire.Encoder) error {
 	if err != nil {
 		return err
 	}
-	var blocks, cacheHits int
+	var blocks, cacheHits, shed int
+	stride := 1
 	var startAt time.Duration
 	for _, req := range h.Requests() {
 		p, err := s.fs.Manager().Progress(req)
@@ -505,11 +514,19 @@ func (s *Server) play(d *wire.Decoder, e *wire.Encoder) error {
 		}
 		blocks += p.BlocksServed
 		cacheHits += p.CacheHits
+		shed += p.ShedBlocks
+		if p.Stride > stride {
+			stride = p.Stride
+		}
 		if p.StartTime > startAt {
 			startAt = p.StartTime
 		}
 	}
-	e.U32(uint32(violations)).U32(uint32(blocks)).I64(int64(startAt)).U32(uint32(cacheHits))
+	e.U32(uint32(violations)).U32(uint32(blocks)).I64(int64(startAt)).U32(uint32(cacheHits)).
+		// QoS section: the class the request ran under, the final
+		// sub-sampling stride (worst across the handle's media), and the
+		// blocks skipped by load shedding.
+		Str(class.String()).U16(uint16(stride)).U32(uint32(shed))
 	return nil
 }
 
@@ -720,6 +737,13 @@ func (s *Server) stats(d *wire.Decoder, e *wire.Encoder) error {
 	e.U64(bytes).U64(capacity).U32(intervals)
 	// Fault-tolerance section: the degradation ladder's tier counters.
 	e.U64(st.Retries).U64(st.DegradedBlocks).U64(st.FaultStops)
+	// QoS section: per-class live populations (best-effort, standard,
+	// premium) and the lifetime shedding counters.
+	qs := mgr.QoSStats()
+	for c := 0; c < continuity.NumClasses; c++ {
+		e.U32(uint32(qs[c].Active)).U32(uint32(qs[c].Degraded)).F64(qs[c].EffectiveRate)
+	}
+	e.U64(st.Promotions).U64(st.LoadDemotions).U64(st.ShedBlocks)
 	return nil
 }
 

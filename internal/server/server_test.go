@@ -61,7 +61,7 @@ func TestNetworkRecordPlayFetch(t *testing.T) {
 		t.Fatalf("info %+v", info)
 	}
 
-	res, err := c.Play("venkat", id, rope.AudioVisual, 0, 0, 2)
+	res, err := c.Play("venkat", id, rope.AudioVisual, 0, 0, 2, "")
 	if err != nil {
 		t.Fatalf("play: %v", err)
 	}
@@ -161,10 +161,10 @@ func TestNetworkEditingAndText(t *testing.T) {
 	if err := c.SetAccess("venkat", r1, []string{"harrick"}, []string{"harrick"}); err != nil {
 		t.Fatalf("set access: %v", err)
 	}
-	if _, err := c.Play("mallory", r1, rope.VideoOnly, 0, 0, 2); err == nil {
+	if _, err := c.Play("mallory", r1, rope.VideoOnly, 0, 0, 2, ""); err == nil {
 		t.Fatal("expected access error for user outside PlayAccess")
 	}
-	if res, err := c.Play("harrick", r1, rope.VideoOnly, 0, 0, 2); err != nil {
+	if res, err := c.Play("harrick", r1, rope.VideoOnly, 0, 0, 2, ""); err != nil {
 		t.Fatalf("play denied for listed user: %v", err)
 	} else if res.Violations != 0 {
 		t.Fatalf("playback had %d violations", res.Violations)
