@@ -18,10 +18,11 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # One pass of the striped-array benchmarks under the race detector:
-# the per-spindle sub-round goroutines run with 1000 admitted streams,
-# the heaviest concurrency the code base generates.
+# the per-spindle sub-round goroutines run with 1000 admitted streams
+# (and, in the rebuild benchmark, with the online repair engine riding
+# the rounds' slack), the heaviest concurrency the code base generates.
 race-bench:
-	$(GO) test -race -run '^$$' -bench 'BenchmarkStripedRound|BenchmarkRound1000Streams' -benchtime=1x .
+	$(GO) test -race -run '^$$' -bench 'BenchmarkStripedRound|BenchmarkRound1000Streams|BenchmarkRebuildRound' -benchtime=1x .
 
 # lint = the standard vet suite plus mmfsvet, the project's own
 # invariant checkers (see DESIGN.md "Invariants & static analysis" and
@@ -54,15 +55,17 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.15 bench/baseline.json bench/current.json
 
 # Allocation-regression gate: the steady-state service rounds
-# (BenchmarkPlaybackRound/steady and BenchmarkQoSClassPass, the round
-# loop with the QoS class pass engaged on a degraded population) must
-# hold their baseline allocs/op — zero — and the full-playback variant
-# must not grow its allocation count past tolerance. Fast enough to
-# run on every push.
+# (BenchmarkPlaybackRound/steady, BenchmarkQoSClassPass — the round
+# loop with the QoS class pass engaged on a degraded population — and
+# BenchmarkRebuildRound, the round loop with an online rebuild
+# in flight) must hold their baseline allocs/op — zero — and the
+# full-playback variant must not grow its allocation count past
+# tolerance. Fast enough to run on every push.
 bench-check:
-	$(GO) test -run '^$$' -bench='BenchmarkPlaybackRound|BenchmarkQoSClassPass' -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/allocs.json
+	$(GO) test -run '^$$' -bench='BenchmarkPlaybackRound|BenchmarkQoSClassPass|BenchmarkRebuildRound' -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson -out bench/allocs.json
 	$(GO) run ./cmd/benchjson -compare -subset BenchmarkPlaybackRound bench/baseline.json bench/allocs.json
 	$(GO) run ./cmd/benchjson -compare -subset BenchmarkQoSClassPass bench/baseline.json bench/allocs.json
+	$(GO) run ./cmd/benchjson -compare -subset BenchmarkRebuildRound bench/baseline.json bench/allocs.json
 
 # Short fuzz pass over the wire codec and the fault-scenario parser;
 # lengthen -fuzztime locally.
@@ -73,17 +76,20 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseScenario -fuzztime=10s ./internal/fault
 
 # Replay the EXP-FT chaos storms, the EXP-STRIPE degraded-spindle run,
-# and the EXP-QOS overload cycle, then check the acceptance assertions
-# (zero aborted plays, zero escalation stops, bounded degradation,
-# fault isolation per spindle, premium streams undisturbed through
-# load shedding). SEED offsets the storms (see the nightly loop).
+# the EXP-QOS overload cycle, and the EXP-REBUILD spindle-loss/rebuild
+# cycle, then check the acceptance assertions (zero aborted plays,
+# zero escalation stops, bounded degradation, fault isolation per
+# spindle, premium streams undisturbed through load shedding and
+# through a whole-spindle loss, admission restored after the online
+# rebuild). SEED offsets the storms (see the nightly loop).
 SEED ?= 0
 chaos:
 	$(GO) run ./cmd/mmexperiments -seed $(SEED) -exp ft
 	$(GO) run ./cmd/mmexperiments -seed $(SEED) -exp stripe
 	$(GO) run ./cmd/mmexperiments -seed $(SEED) -exp qos
-	$(GO) test -run 'TestFaultTolerance|TestStripedScaling|TestQoS' ./internal/experiments
-	$(GO) test -run TestStriped ./internal/msm
+	$(GO) run ./cmd/mmexperiments -seed $(SEED) -exp rebuild
+	$(GO) test -run 'TestFaultTolerance|TestStripedScaling|TestQoS|TestRebuild' ./internal/experiments
+	$(GO) test -run 'TestStriped|TestMirrored' ./internal/msm
 
 clean:
 	$(GO) clean ./...

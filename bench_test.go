@@ -624,16 +624,61 @@ func newStripedBench(b *testing.B, g disk.Geometry, p, stripe int) *stripedBench
 	}
 }
 
+// newMirroredBench is newStripedBench over a mirrored array: p/2
+// redundancy pairs, logical capacity halved, whole-spindle loss
+// survivable.
+func newMirroredBench(b *testing.B, g disk.Geometry, p, stripe int) *stripedBench {
+	b.Helper()
+	devs := make([]disk.Device, p)
+	for i := range devs {
+		devs[i] = disk.MustNew(g)
+	}
+	arr, err := disk.NewMirroredArray(devs, stripe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := alloc.New(arr.Geometry(), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lg := arr.Geometry()
+	return &stripedBench{
+		arr: arr, a: a, p: p,
+		dev: continuity.Device{
+			TransferRate: lg.TransferRateBits(),
+			MaxAccess:    continuity.Seconds(lg.MaxAccessTime()),
+			MinAccess:    continuity.Seconds(lg.MinAccessTime()),
+		},
+	}
+}
+
 // record writes one strand onto the given spindle starting at the given
 // spindle-local cylinder of a stripe-group (stripe cylinders wide).
 func (sb *stripedBench) record(b *testing.B, cfg strand.WriterConfig, spindle, localCyl, stripe, units int, payload int) *strand.Strand {
 	b.Helper()
 	cfg.StartCylinder = (localCyl/stripe*sb.p+spindle)*stripe + localCyl%stripe
+	return sb.write(b, cfg, units, payload, int64(1000*spindle+localCyl))
+}
+
+// recordMirrored writes one strand into the within'th stripe group
+// whose balanced steering prefers the given spindle of a mirrored
+// array: pair spindle/2, slot spindle%2 + 2*within.
+func (sb *stripedBench) recordMirrored(b *testing.B, cfg strand.WriterConfig, spindle, within, units, payload int) *strand.Strand {
+	b.Helper()
+	group := (spindle%2+2*within)*sb.arr.MirrorGroups() + spindle/2
+	cfg.StartCylinder = group * sb.arr.StripeCylinders()
+	return sb.write(b, cfg, units, payload, int64(1000*spindle+within))
+}
+
+// write appends units payload-byte units to a fresh strand at
+// cfg.StartCylinder.
+func (sb *stripedBench) write(b *testing.B, cfg strand.WriterConfig, units, payload int, seed int64) *strand.Strand {
+	b.Helper()
 	w, err := strand.NewWriter(sb.arr, sb.a, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	src := media.NewVideoSource(units, payload, cfg.Rate, int64(1000*spindle+localCyl))
+	src := media.NewVideoSource(units, payload, cfg.Rate, seed)
 	for {
 		u, ok := src.Next()
 		if !ok {
@@ -832,8 +877,8 @@ func BenchmarkQoSClassPass(b *testing.B) {
 	const (
 		p, stripe = 4, 500
 		units     = 1920 // 240 16 KB blocks ≈ 60 local cylinders
-		nBE       = 2   // best-effort riders per spindle
-		kTight    = 3   // the BenchmarkRound1000Streams operating depth
+		nBE       = 2    // best-effort riders per spindle
+		kTight    = 3    // the BenchmarkRound1000Streams operating depth
 	)
 	g := disk.Geometry{
 		Cylinders: 2000, Surfaces: 1, SectorsPerTrack: 32, SectorSize: 2048,
@@ -939,5 +984,165 @@ func BenchmarkQoSClassPass(b *testing.B) {
 	if st.Violations != st.LoadDemotions {
 		b.Fatalf("%d violations vs %d load demotions: deadline misses in a feasible QoS set",
 			st.Violations, st.LoadDemotions)
+	}
+}
+
+// BenchmarkRebuildRound times steady service rounds while an online
+// rebuild is in flight: a 4-spindle mirrored array carries 200 live
+// streams on its healthy pair while the repair engine copies a dead
+// spindle's cylinders from the twin in each round's leftover slack
+// (rate-capped at 1 chunk/round so the rebuild spans many rounds).
+// Like the other steady-round benchmarks the allocs/op figure is the
+// CI-gated invariant: the repair step must run off the chunk buffer
+// StartRebuild sized up front, and a rebuild-active round must not
+// allocate. When a rebuild completes mid-measurement the spindle is
+// re-killed and a fresh rebuild started off-timer.
+func BenchmarkRebuildRound(b *testing.B) {
+	const (
+		p, stripe = 4, 500
+		perSp     = 100 // streams per healthy-pair spindle
+		units     = 240 // 240 one-sector blocks ≈ 8 local cylinders
+		srcUnits  = 960 // rebuild source on pair 0: ≈ 30 spindle cylinders
+		victim    = 1
+	)
+	g := disk.Geometry{
+		Cylinders: 2000, Surfaces: 1, SectorsPerTrack: 32, SectorSize: 2048,
+		RPM: 36000, MinSeek: 200 * time.Microsecond, MaxSeek: 5 * time.Millisecond, Heads: 1,
+	}
+	sb := newMirroredBench(b, g, p, stripe)
+	adm := continuity.AdmissionFor(sb.dev)
+	scattering := continuity.Seconds(sb.arr.Geometry().AccessTime(1))
+	tmpl := continuity.Request{
+		Name: "lite", Granularity: 1, UnitBits: 2048 * 8, Rate: 1,
+		Scattering: scattering,
+	}
+	reqs := make([]continuity.Request, perSp)
+	for i := range reqs {
+		reqs[i] = tmpl
+	}
+	k, ok := adm.KTransient(reqs)
+	if !ok {
+		b.Fatalf("no feasible k for %d streams per spindle", perSp)
+	}
+	// The rebuild source: 30 cylinders of data on pair 0, played by
+	// just nSrc streams. The bulk stream load rides on the healthy
+	// pair 1, so killing, rebuilding, and re-killing spindle 1 never
+	// changes the admission picture the mid-measurement re-populations
+	// run against — while the nSrc twin-lane streams keep lane 0's
+	// Eq. 18 retry slack positive, which is the budget the repair step
+	// charges its copies against (an idle lane has zero slack and
+	// would starve the rebuild).
+	src := sb.recordMirrored(b, strand.WriterConfig{
+		ID: strand.ID(99), Medium: layout.Video, Rate: 1,
+		UnitBytes: 2048, Granularity: 1,
+		Constraint: alloc.Constraint{MaxCylinders: 1},
+	}, 0, 0, srcUnits, 2048)
+	srcPlan, err := msm.PlanStrandPlay(sb.arr, src, msm.PlanOptions{
+		ReadAhead: k, Buffers: 2 * k, Scattering: scattering,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nSrc = 2
+	plans := make([]msm.PlayPlan, 0, 2*perSp+nSrc)
+	for i := 0; i < nSrc; i++ {
+		plans = append(plans, srcPlan)
+	}
+	for sp := 2; sp < p; sp++ {
+		s := sb.recordMirrored(b, strand.WriterConfig{
+			ID: strand.ID(sp + 1), Medium: layout.Video, Rate: 1,
+			UnitBytes: 2048, Granularity: 1,
+			Constraint: alloc.Constraint{MaxCylinders: 1},
+		}, sp, 0, units, 2048)
+		plan, err := msm.PlanStrandPlay(sb.arr, s, msm.PlanOptions{
+			ReadAhead: k, Buffers: 2 * k, Scattering: scattering,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < perSp; i++ {
+			plans = append(plans, plan)
+		}
+	}
+	mgr := msm.New(sb.arr, adm)
+	mgr.SetRebuildRate(1)
+	populate := func(b *testing.B) {
+		mgr.SetPolicy(msm.NaiveJump)
+		mgr.ForceK(k)
+		for i, plan := range plans {
+			if _, _, err := mgr.AdmitPlay(plan); err != nil {
+				b.Fatalf("stream %d: %v", i, err)
+			}
+			mgr.ForceK(k)
+		}
+	}
+	// warm absorbs the one-off work of the latest transition (admission
+	// arenas, the resteer renegotiation after a kill) off-timer.
+	warm := func(b *testing.B, n int) {
+		for i := 0; i < n; i++ {
+			if !mgr.RunRound() {
+				populate(b)
+			}
+		}
+	}
+	// kill replaces the victim with a factory-fresh disk and starts the
+	// online rebuild, like Manager.Rebuild — but it pre-materializes
+	// the replacement's cylinder pages first: a simulated disk's
+	// backing page allocates once on first write (see disk.page's
+	// allocpath pragma), and the gated invariant is the service
+	// round's own zero-alloc hot path, not the simulator's lazy
+	// backing store.
+	zeros := make([]byte, sb.arr.RepairBufferSectors()*g.SectorSize)
+	mat := sb.arr.Spindle(sb.arr.Twin(victim)).(interface{ CylinderMaterialized(int) bool })
+	spc := g.SectorsPerCylinder()
+	kill := func(b *testing.B) {
+		sb.arr.SetSpindleState(victim, disk.Dead)
+		fresh := disk.MustNew(g)
+		for c := 0; c < g.Cylinders; c++ {
+			if mat.CylinderMaterialized(c) {
+				if err := fresh.WriteAt(c*spc, zeros); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := sb.arr.ReplaceSpindle(victim, fresh); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.StartRebuild(victim); err != nil {
+			b.Fatal(err)
+		}
+	}
+	populate(b)
+	warm(b, 4)
+	kill(b)
+	warm(b, 2)
+	rebuilds := 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !mgr.RepairActive() {
+			b.StopTimer()
+			rebuilds++
+			kill(b)
+			warm(b, 1)
+			b.StartTimer()
+		}
+		if !mgr.RunRound() {
+			b.StopTimer()
+			populate(b)
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	st := mgr.Stats()
+	if st.RebuildBlocks == 0 {
+		b.Fatal("no repair chunks copied: the measured rounds were not rebuild-active")
+	}
+	b.ReportMetric(float64(len(plans)), "streams")
+	b.ReportMetric(float64(k), "k")
+	b.ReportMetric(float64(st.RebuildBlocks)/float64(st.Rounds), "chunks/round")
+	b.ReportMetric(float64(rebuilds), "rebuilds")
+	if st.Violations != 0 {
+		b.Fatalf("%d continuity violations during online rebuild", st.Violations)
 	}
 }

@@ -21,14 +21,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (f4, e1, e2, e3, e46, nmax, trans, edit, ra, sil, hdtv, ff, vbr, scan, reorg, ic, ft, stripe, qos)")
+	exp := flag.String("exp", "", "run a single experiment (f4, e1, e2, e3, e46, nmax, trans, edit, ra, sil, hdtv, ff, vbr, scan, reorg, ic, ft, stripe, qos, rebuild)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
-	seed := flag.Int64("seed", 0, "offset for the seeded chaos workloads (EXP-FT, EXP-STRIPE, EXP-QOS); 0 keeps the default seeds")
+	seed := flag.Int64("seed", 0, "offset for the seeded chaos workloads (EXP-FT, EXP-STRIPE, EXP-QOS, EXP-REBUILD); 0 keeps the default seeds")
 	flag.Parse()
 
 	experiments.SetSeedBase(*seed)
 	if *list {
-		for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft", "stripe", "qos"} {
+		for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft", "stripe", "qos", "rebuild"} {
 			fmt.Println(id)
 		}
 		return

@@ -19,6 +19,7 @@
 //	delete <base> <medium> <start> <dur>
 //	rm <rope>                               delete a rope
 //	stats                                   server statistics
+//	rebuild <spindle>                       replace a failed mirror spindle and rebuild it online
 //	metrics                                 dump the server metrics registry (Prometheus text)
 //	text-put <name> <contents…>
 //	text-get <name>
@@ -47,7 +48,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mmfsctl [-addr host:port] <list|info|record|play|insert|replace|substring|concat|delete|rm|stats|metrics|check|trigger|triggers|flatten|text-put|text-get|text-ls> [args]")
+	fmt.Fprintln(os.Stderr, "usage: mmfsctl [-addr host:port] <list|info|record|play|insert|replace|substring|concat|delete|rm|stats|rebuild|metrics|check|trigger|triggers|flatten|text-put|text-get|text-ls> [args]")
 	os.Exit(2)
 }
 
@@ -375,6 +376,28 @@ func main() {
 			fmt.Printf("qos shedding:    %d promotion(s), %d demotion(s), %d block(s) shed\n",
 				st.Promotions, st.LoadDemotions, st.ShedBlocks)
 		}
+		if len(st.SpindleStates) > 0 {
+			fmt.Printf("mirror health:   %s\n", strings.Join(st.SpindleStates, " "))
+			if st.RebuildTotal > 0 {
+				fmt.Printf("rebuild:         %d/%d chunk(s) (%d copied lifetime)\n",
+					st.RebuildDone, st.RebuildTotal, st.RebuildBlocks)
+			} else if st.RebuildBlocks > 0 {
+				fmt.Printf("rebuild:         idle (%d chunk(s) copied lifetime)\n", st.RebuildBlocks)
+			}
+		}
+	case "rebuild":
+		if len(args) != 2 {
+			usage()
+		}
+		spindle, err := strconv.Atoi(args[1])
+		if err != nil || spindle < 0 {
+			die(fmt.Errorf("bad spindle %q", args[1]))
+		}
+		state, blocks, err := c.Rebuild(spindle)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("spindle %d rebuilt: state %s, %d repair chunk(s) copied lifetime\n", spindle, state, blocks)
 	case "metrics":
 		snap, err := c.Metrics()
 		if err != nil {

@@ -42,6 +42,8 @@ func main() {
 		disks     = flag.Int("disks", 1, "independent spindles p; >1 stripes strands across a disk array with one concurrent sub-round and per-spindle admission each round")
 		stripe    = flag.Int("stripe", 0, "striping unit in cylinders (must divide -cylinders); 0 picks cylinders/10")
 		faultSp   = flag.Int("fault-spindle", 0, "spindle the fault scenario wraps when -disks > 1 (single-spindle degradation)")
+		mirror    = flag.Bool("mirror", false, "pair the array's spindles into mirror groups: capacity halves, a whole-spindle loss degrades to the twin and REBUILD restores redundancy online")
+		rbRate    = flag.Int("rebuild-rate", 0, "max rebuild/rebalance chunks (spindle cylinders) copied per service round (0 = built-in default)")
 		qosMax    = flag.Int("qos-max-stride", 0, "QoS load shedding: max sub-sampling stride for standard/best-effort plays under overload (≥2 enables, 0 keeps admission binary accept/reject)")
 		qosDef    = flag.String("qos-default", "standard", "QoS class for PLAY requests that do not name one: premium, standard, or best-effort")
 	)
@@ -69,6 +71,7 @@ func main() {
 	fs, err := core.Format(core.Options{
 		Geometry: g, TargetCylinders: *target, CacheMB: *cachemb, Fault: sc,
 		Disks: *disks, Stripe: *stripe, FaultSpindle: *faultSp,
+		Mirror: *mirror, RebuildRate: *rbRate,
 		QoSMaxStride: *qosMax, QoSDefault: defClass,
 	})
 	if err != nil {
@@ -79,8 +82,13 @@ func main() {
 	fmt.Printf("mmfsd: %d MB disk, r_dt %.1f Mbit/s, l_max_seek %.1f ms, placement ≤ %d cylinders\n",
 		lg.CapacityBytes()>>20, dev.TransferRate/1e6, dev.MaxAccess*1000, *target)
 	if a := fs.Array(); a != nil {
-		fmt.Printf("mmfsd: %d-spindle striped array, stripe %d cylinders (admission per spindle: up to %d× the single-disk population)\n",
-			a.Spindles(), a.StripeCylinders(), a.Spindles())
+		if a.Mirrored() {
+			fmt.Printf("mmfsd: %d-spindle mirrored array (%d pairs), stripe %d cylinders — survives any single-spindle loss; rebuild rate %d chunk(s)/round\n",
+				a.Spindles(), a.Spindles()/2, a.StripeCylinders(), fs.Manager().RebuildRate())
+		} else {
+			fmt.Printf("mmfsd: %d-spindle striped array, stripe %d cylinders (admission per spindle: up to %d× the single-disk population)\n",
+				a.Spindles(), a.StripeCylinders(), a.Spindles())
+		}
 	}
 	if *cachemb > 0 {
 		fmt.Printf("mmfsd: interval cache %d MiB (trailing plays of a rope are served from memory)\n", *cachemb)

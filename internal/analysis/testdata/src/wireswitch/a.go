@@ -16,6 +16,8 @@ func full(op wire.Op) string {
 		return "edit"
 	case wire.OpRopeInfo, wire.OpListRopes, wire.OpStats, wire.OpMetrics, wire.OpCheck:
 		return "inspect"
+	case wire.OpRebuild:
+		return "repair"
 	case wire.OpTextWrite, wire.OpTextRead, wire.OpTextList:
 		return "text"
 	case wire.OpSetAccess, wire.OpAddTrigger, wire.OpTriggers:

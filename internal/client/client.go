@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mmfs/internal/continuity"
+	"mmfs/internal/disk"
 	"mmfs/internal/media"
 	"mmfs/internal/obs"
 	"mmfs/internal/rope"
@@ -524,6 +525,16 @@ type ServerStats struct {
 	Promotions    uint64
 	LoadDemotions uint64
 	ShedBlocks    uint64
+	// SpindleStates is the per-spindle health of a mirrored array
+	// ("healthy", "suspect", "dead", "rebuilding"); empty when the
+	// server does not mirror.
+	SpindleStates []string
+	// RebuildDone and RebuildTotal are the running rebuild/rebalance's
+	// chunk cursor; both zero when no repair is active.
+	RebuildDone  int
+	RebuildTotal int
+	// RebuildBlocks is the lifetime count of repair chunks copied.
+	RebuildBlocks uint64
 }
 
 // QoSClassStats summarizes one QoS class's live streams on the server.
@@ -569,7 +580,30 @@ func (c *Client) Stats() (ServerStats, error) {
 	st.Promotions = d.U64()
 	st.LoadDemotions = d.U64()
 	st.ShedBlocks = d.U64()
+	if n := d.U32(); n > 0 && d.Err() == nil {
+		st.SpindleStates = make([]string, 0, n)
+		for i := uint32(0); i < n; i++ {
+			st.SpindleStates = append(st.SpindleStates, disk.SpindleState(d.U16()).String())
+		}
+	}
+	st.RebuildDone = int(d.U32())
+	st.RebuildTotal = int(d.U32())
+	st.RebuildBlocks = d.U64()
 	return st, d.Err()
+}
+
+// Rebuild replaces failed spindle spindle of the server's mirrored
+// array with a fresh device and runs the online rebuild to completion,
+// returning the spindle's final health state and the server's lifetime
+// repair-chunk count.
+func (c *Client) Rebuild(spindle int) (string, uint64, error) {
+	d, err := c.call(wire.OpRebuild, wire.NewEncoder().U32(uint32(spindle)).Bytes())
+	if err != nil {
+		return "", 0, err
+	}
+	state := d.Str()
+	blocks := d.U64()
+	return state, blocks, d.Err()
 }
 
 // Metrics fetches a snapshot of every metric the server's

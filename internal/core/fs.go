@@ -81,9 +81,22 @@ type Options struct {
 	Stripe int
 	// FaultSpindle selects which spindle of an array the Fault
 	// scenario wraps (a one-degraded-spindle experiment: only streams
-	// resident there degrade). Out-of-range values clamp to 0. With a
-	// single disk the scenario wraps the whole media path as before.
+	// resident there degrade). Out-of-range values are a configuration
+	// error (an experiment naming a spindle the array does not have
+	// must fail loudly, not silently degrade spindle 0). With a single
+	// disk the scenario wraps the whole media path as before.
 	FaultSpindle int
+	// Mirror pairs the array's spindles into mirror groups (Disks must
+	// be even and >= 2): capacity halves, both twins of a pair hold
+	// identical data, and the file system survives the loss of either
+	// twin of every pair — reads steer to the survivor, admission
+	// shrinks to the surviving capacity, and a replaced spindle is
+	// rebuilt online in the service rounds' leftover slack.
+	Mirror bool
+	// RebuildRate caps the repair chunks (one spindle cylinder each)
+	// the online rebuild/rebalance engine copies per service round.
+	// 0 uses the storage manager's default.
+	RebuildRate int
 	// QoSMaxStride enables QoS load shedding when ≥ 2: under overload,
 	// standard and best-effort plays are admitted sub-sampled (at
 	// power-of-two strides up to this bound) instead of rejected, and a
@@ -96,7 +109,7 @@ type Options struct {
 	QoSDefault continuity.Class
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
 	if o.Geometry.Cylinders == 0 {
 		o.Geometry = disk.DefaultGeometry()
 	}
@@ -122,9 +135,15 @@ func (o Options) withDefaults() Options {
 		}
 	}
 	if o.FaultSpindle < 0 || o.FaultSpindle >= o.Disks {
-		o.FaultSpindle = 0
+		return o, fmt.Errorf("core: fault spindle %d outside the array [0,%d)", o.FaultSpindle, o.Disks)
 	}
-	return o
+	if o.Mirror && (o.Disks < 2 || o.Disks%2 != 0) {
+		return o, fmt.Errorf("core: mirroring needs an even spindle count >= 2, have %d", o.Disks)
+	}
+	if o.RebuildRate < 0 {
+		return o, fmt.Errorf("core: rebuild rate %d negative", o.RebuildRate)
+	}
+	return o, nil
 }
 
 // FS is a mounted multimedia file system.
@@ -190,13 +209,19 @@ func newStore(opts Options) (disk.Store, error) {
 			devs[i] = d
 		}
 	}
+	if opts.Mirror {
+		return disk.NewMirroredArray(devs, opts.Stripe)
+	}
 	return disk.NewArray(devs, opts.Stripe)
 }
 
 // Format creates a fresh file system on a new simulated disk (or
 // striped array, when Options.Disks > 1).
 func Format(opts Options) (*FS, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	d, err := newStore(opts)
 	if err != nil {
 		return nil, err
@@ -274,6 +299,9 @@ func build(opts Options, d disk.Store, a *alloc.Allocator) *FS {
 	if opts.QoSMaxStride >= 2 {
 		fs.mgr.SetQoS(msm.QoSPolicy{MaxStride: opts.QoSMaxStride})
 	}
+	if opts.RebuildRate > 0 {
+		fs.mgr.SetRebuildRate(opts.RebuildRate)
+	}
 	fs.obsReg = obs.NewRegistry()
 	fs.obsRing = obs.NewTraceRing(obs.DefaultTraceRounds)
 	fs.wireObs()
@@ -304,7 +332,10 @@ func (fs *FS) Trace() *obs.TraceRing { return fs.obsRing }
 // Open mounts a previously formatted file system from its disk (or
 // array; the caller reconstructs the array around its spindles).
 func Open(d disk.Store, opts Options) (*FS, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	opts.Geometry = d.Geometry()
 	g := d.Geometry()
 	sb, err := d.ReadAt(superLBA, 1)
@@ -488,6 +519,9 @@ func (fs *FS) NewManager() *msm.Manager {
 	}
 	if fs.opts.QoSMaxStride >= 2 {
 		fs.mgr.SetQoS(msm.QoSPolicy{MaxStride: fs.opts.QoSMaxStride})
+	}
+	if fs.opts.RebuildRate > 0 {
+		fs.mgr.SetRebuildRate(fs.opts.RebuildRate)
 	}
 	fs.wireObs()
 	return fs.mgr

@@ -39,6 +39,22 @@ type Array struct {
 	sc       int      // stripe unit in cylinders
 	spc      int      // sectors per cylinder (same on every spindle)
 	groupSec int      // sectors per stripe group: sc * spc
+
+	// Mirrored redundancy mode (see mirror.go). When mirrored, the
+	// p spindles form mg = p/2 pairs, logical capacity is mg spindles'
+	// worth, and reads steer between twins by the frozen steer table.
+	mirrored bool
+	mg       int // mirror pairs (p/2; 0 when not mirrored)
+	health   []spindleHealth
+	steer    []steerMode
+
+	// Hot-add expansion state (see repair.go): until a rebalance
+	// migrates them, stripe groups with moved[g]==false still live at
+	// their pre-expansion home computed with oldMg pairs.
+	oldMg int
+	moved []bool
+
+	repair repairState
 }
 
 var _ Device = (*Array)(nil)
@@ -119,19 +135,31 @@ func (a *Array) Locate(lba int) (spindle, local int) {
 	off := lba % a.spc
 	group := cyl / a.sc
 	inGroup := cyl % a.sc
+	if a.mirrored {
+		pair, slot := a.homeOf(group)
+		localCyl := slot*a.sc + inGroup
+		return a.readSpindle(pair, slot), localCyl*a.spc + off
+	}
 	p := len(a.spindles)
 	localCyl := (group/p)*a.sc + inGroup
 	return group % p, localCyl*a.spc + off
 }
 
 // ToLogical maps a spindle-local sector address back to the logical
-// address space; it inverts Locate.
+// address space; it inverts Locate. For a mirrored array both twins
+// map to the same logical address, and the post-expansion mapping is
+// used during a pending rebalance.
 func (a *Array) ToLogical(spindle, local int) int {
 	cyl := local / a.spc
 	off := local % a.spc
 	localGroup := cyl / a.sc
 	inGroup := cyl % a.sc
-	group := localGroup*len(a.spindles) + spindle
+	var group int
+	if a.mirrored {
+		group = localGroup*a.mg + spindle/2
+	} else {
+		group = localGroup*len(a.spindles) + spindle
+	}
 	return (group*a.sc+inGroup)*a.spc + off
 }
 
@@ -153,7 +181,8 @@ func (a *Array) SpindleRange(lba, n int) (spindle int, ok bool) {
 	if n > 1 {
 		last = (lba + n - 1) / a.groupSec
 	}
-	return first % len(a.spindles), first == last
+	sp, _ := a.Locate(lba)
+	return sp, first == last
 }
 
 // HeadCylinder reports the logical cylinder under spindle h's actuator.
@@ -161,6 +190,9 @@ func (a *Array) HeadCylinder(h int) int {
 	localCyl := a.spindles[h].HeadCylinder(0)
 	localGroup := localCyl / a.sc
 	inGroup := localCyl % a.sc
+	if a.mirrored {
+		return (localGroup*a.mg+h/2)*a.sc + inGroup
+	}
 	return (localGroup*len(a.spindles)+h)*a.sc + inGroup
 }
 
@@ -217,7 +249,7 @@ func (a *Array) ReadInto(h, lba, n int, dst []byte) (time.Duration, error) {
 	var total time.Duration
 	for done := 0; done < n; {
 		sp, local, count := a.spanAt(lba, n, done)
-		t, err := a.spindles[sp].ReadInto(0, local, count, dst[done*ss:(done+count)*ss])
+		t, err := a.readSpan(sp, local, count, dst[done*ss:(done+count)*ss])
 		if err != nil {
 			return 0, err
 		}
@@ -252,7 +284,7 @@ func (a *Array) ReadContiguous(h, lba, n int) ([]byte, time.Duration, error) {
 	var total time.Duration
 	for done := 0; done < n; {
 		sp, local, count := a.spanAt(lba, n, done)
-		b, t, err := a.spindles[sp].ReadContiguous(0, local, count)
+		b, t, err := a.readSpanContiguous(sp, local, count)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -278,7 +310,13 @@ func (a *Array) Write(h, lba int, data []byte) (time.Duration, error) {
 		if hi > len(data) {
 			hi = len(data)
 		}
-		t, err := a.spindles[sp].Write(0, local, data[done*ss:hi])
+		var t time.Duration
+		var err error
+		if a.mirrored {
+			t, err = a.writeSpan(lba+done, local, data[done*ss:hi])
+		} else {
+			t, err = a.spindles[sp].Write(0, local, data[done*ss:hi])
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -332,7 +370,13 @@ func (a *Array) WriteAt(lba int, data []byte) error {
 		if hi > len(data) {
 			hi = len(data)
 		}
-		if err := a.spindles[sp].WriteAt(local, data[done*ss:hi]); err != nil {
+		var err error
+		if a.mirrored {
+			err = a.writeSpanAt(lba+done, local, data[done*ss:hi])
+		} else {
+			err = a.spindles[sp].WriteAt(local, data[done*ss:hi])
+		}
+		if err != nil {
 			return err
 		}
 		done += count

@@ -163,6 +163,14 @@ func (d *Disk) checkRange(lba, n int) error {
 
 // page returns cylinder cyl's backing store, allocating it when
 // materialize is true; a nil return reads as zeros.
+// CylinderMaterialized reports whether the cylinder has ever been
+// written. A nil page reads as zeros, and mirror twins materialize in
+// lockstep (writes are duplicated), so the repair engine can skip
+// unmaterialized cylinders without copying anything.
+func (d *Disk) CylinderMaterialized(cyl int) bool {
+	return cyl >= 0 && cyl < len(d.pages) && d.pages[cyl] != nil
+}
+
 func (d *Disk) page(cyl int, materialize bool) []byte {
 	if d.pages[cyl] == nil && materialize {
 		//lint:ignore allocpath a cylinder page materializes once; steady-state rounds hit warm pages

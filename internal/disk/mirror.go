@@ -1,0 +1,398 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mirrored redundancy mode for Array: spindles are paired into mirror
+// groups (spindles 2g and 2g+1 form pair g), both twins hold identical
+// data at identical local addresses, and the array survives the loss of
+// either twin of every pair. Capacity halves — the logical geometry
+// advertises p/2 spindles' worth of cylinders — but read bandwidth
+// keeps all p actuators because steering deals alternate stripe-group
+// slots to alternate twins.
+//
+// Each spindle carries a health state machine driven by the timed read
+// path's error and latency signals (virtual-clock based; no wall time):
+//
+//	Healthy --4 consecutive errors / 16 consecutive outliers--> Suspect
+//	Suspect --clean read--> Healthy
+//	Suspect --8 consecutive errors--> Dead
+//	Dead    --StartRebuild--> Rebuilding --copy complete--> Healthy
+//
+// Health fields are single-owner by convention: spindle i's counters
+// are written only by the goroutine servicing spindle i's reads (the
+// MSM's per-spindle lane during parallel sub-rounds, the sole caller
+// otherwise). Steering reads them only from single-threaded context —
+// RefreshSteering between rounds — and the steering table is frozen
+// during parallel sub-rounds, so a mid-round health transition never
+// redirects a lane onto another lane's spindle. The round in which a
+// spindle dies therefore still degrades up to one k-window per victim
+// stream; the re-steer takes effect at the next round boundary.
+
+// SpindleState is one spindle's position in the mirror health state
+// machine.
+type SpindleState uint8
+
+const (
+	// Healthy spindles serve their steering share of reads.
+	Healthy SpindleState = iota
+	// Suspect spindles have accumulated consecutive errors or latency
+	// outliers; steering shifts most load to the twin but keeps
+	// probing so a clean read can clear the state.
+	Suspect
+	// Dead spindles are never read; their stripe groups steer wholly
+	// to the twin, and only StartRebuild (after ReplaceSpindle for a
+	// physical swap) can bring them back.
+	Dead
+	// Rebuilding spindles are being reconstructed from their twin;
+	// they absorb duplicated writes (to keep copied chunks coherent)
+	// but serve no reads until the copy completes.
+	Rebuilding
+)
+
+func (s SpindleState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Rebuilding:
+		return "rebuilding"
+	}
+	return "unknown"
+}
+
+// Health state-machine thresholds. All counts are consecutive: any
+// clean read resets them.
+const (
+	// suspectAfterErrs consecutive read errors mark a spindle Suspect.
+	suspectAfterErrs = 4
+	// deadAfterErrs consecutive read errors mark it Dead.
+	deadAfterErrs = 8
+	// suspectAfterSlow consecutive latency outliers mark it Suspect;
+	// latency alone never kills a spindle.
+	suspectAfterSlow = 16
+	// latencyOutlierFactor: a timed read slower than this multiple of
+	// its PeekServiceTime estimate counts as an outlier.
+	latencyOutlierFactor = 4
+)
+
+type spindleHealth struct {
+	state      SpindleState
+	consecErrs int
+	consecSlow int
+}
+
+// steerMode is one mirror pair's frozen read-steering decision.
+type steerMode uint8
+
+const (
+	// steerBoth deals alternate slots to alternate twins (the static
+	// balanced split; also the fallback when neither twin is readable,
+	// so the error surfaces instead of being masked).
+	steerBoth steerMode = iota
+	// steerTo0 / steerTo1 send every read to that twin (the other is
+	// Dead or Rebuilding).
+	steerTo0
+	steerTo1
+	// steerFavor0 / steerFavor1 send most reads to the named healthy
+	// twin but probe the Suspect twin every fourth slot, so a clean
+	// probe can clear the Suspect state.
+	steerFavor0
+	steerFavor1
+)
+
+func readable(s SpindleState) bool { return s == Healthy || s == Suspect }
+
+// NewMirroredArray builds a mirrored array: an even number of spindles
+// paired into p/2 mirror groups, each pair holding two copies of its
+// stripe groups. Geometry and stripe-unit rules match NewArray.
+func NewMirroredArray(spindles []Device, stripeCylinders int) (*Array, error) {
+	if len(spindles) < 2 || len(spindles)%2 != 0 {
+		return nil, fmt.Errorf("disk: mirrored array needs an even spindle count >= 2, have %d", len(spindles))
+	}
+	a, err := NewArray(spindles, stripeCylinders)
+	if err != nil {
+		return nil, err
+	}
+	a.mirrored = true
+	a.mg = len(spindles) / 2
+	a.logical.Cylinders = a.phys.Cylinders * a.mg
+	a.health = make([]spindleHealth, len(spindles))
+	a.steer = make([]steerMode, a.mg)
+	a.repair = repairState{target: -1}
+	return a, nil
+}
+
+// MustNewMirroredArray is NewMirroredArray but panics on invalid
+// configuration; for tests and fixed experiment setups.
+func MustNewMirroredArray(spindles []Device, stripeCylinders int) *Array {
+	a, err := NewMirroredArray(spindles, stripeCylinders)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Mirrored reports whether the array runs the mirrored redundancy
+// layout.
+func (a *Array) Mirrored() bool { return a.mirrored }
+
+// MirrorGroups reports the number of mirror pairs (p/2; 0 when not
+// mirrored).
+func (a *Array) MirrorGroups() int { return a.mg }
+
+// Twin reports the mirror twin of spindle i.
+func (a *Array) Twin(i int) int { return i ^ 1 }
+
+// SpindleState reports spindle i's health state. Non-mirrored arrays
+// report every spindle Healthy.
+func (a *Array) SpindleState(i int) SpindleState {
+	if !a.mirrored {
+		return Healthy
+	}
+	return a.health[i].state
+}
+
+// SetSpindleState forces spindle i's health state, clearing its strike
+// counters: the operator's (and tests') hook for marking a drive dead
+// without waiting for the error thresholds. Call RefreshSteering (or
+// let the MSM's next round do it) afterwards.
+func (a *Array) SetSpindleState(i int, s SpindleState) {
+	if !a.mirrored {
+		return
+	}
+	a.health[i] = spindleHealth{state: s}
+}
+
+// homeOf maps a logical stripe group to its (mirror pair, local slot).
+// During a pending rebalance after AddMirrorPair, groups not yet moved
+// still live at their pre-expansion home.
+//
+// rt:hotpath
+func (a *Array) homeOf(group int) (pair, slot int) {
+	if a.moved != nil && group < len(a.moved) && !a.moved[group] {
+		return group % a.oldMg, group / a.oldMg
+	}
+	return group % a.mg, group / a.mg
+}
+
+// readSpindle applies the pair's frozen steering decision to one slot.
+//
+// rt:hotpath
+func (a *Array) readSpindle(pair, slot int) int {
+	base := 2 * pair
+	switch a.steer[pair] {
+	case steerTo0:
+		return base
+	case steerTo1:
+		return base + 1
+	case steerFavor0:
+		if slot&3 == 3 {
+			return base + 1
+		}
+		return base
+	case steerFavor1:
+		if slot&3 == 3 {
+			return base
+		}
+		return base + 1
+	default:
+		return base + (slot & 1)
+	}
+}
+
+// RefreshSteering recomputes the per-pair steering table from the
+// current health states and reports whether any entry changed. The MSM
+// calls it from the single-threaded partition phase at each round
+// boundary; between calls the table is frozen, which is what makes the
+// lanes' concurrent Locate calls race-free against health transitions.
+func (a *Array) RefreshSteering() (changed bool) {
+	if !a.mirrored {
+		return false
+	}
+	for pair := range a.steer {
+		m := a.steerFor(pair)
+		if m != a.steer[pair] {
+			a.steer[pair] = m
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (a *Array) steerFor(pair int) steerMode {
+	s0 := a.health[2*pair].state
+	s1 := a.health[2*pair+1].state
+	r0, r1 := readable(s0), readable(s1)
+	switch {
+	case r0 && !r1:
+		return steerTo0
+	case r1 && !r0:
+		return steerTo1
+	case s0 == Healthy && s1 == Suspect:
+		return steerFavor0
+	case s1 == Healthy && s0 == Suspect:
+		return steerFavor1
+	default:
+		return steerBoth
+	}
+}
+
+// observeRead feeds one timed read's outcome into the owning spindle's
+// health counters. Single-owner: called only from the goroutine
+// servicing spindle sp (see the package comment above).
+//
+// rt:hotpath
+func (a *Array) observeRead(sp int, est, t time.Duration, err error) {
+	h := &a.health[sp]
+	switch {
+	case err != nil:
+		h.consecSlow = 0
+		h.consecErrs++
+		if h.state == Healthy && h.consecErrs >= suspectAfterErrs {
+			h.state = Suspect
+		}
+		if h.state == Suspect && h.consecErrs >= deadAfterErrs {
+			h.state = Dead
+		}
+	case est > 0 && t > est*latencyOutlierFactor:
+		h.consecErrs = 0
+		h.consecSlow++
+		if h.state == Healthy && h.consecSlow >= suspectAfterSlow {
+			h.state = Suspect
+		}
+	default:
+		h.consecErrs, h.consecSlow = 0, 0
+		if h.state == Suspect {
+			h.state = Healthy
+		}
+	}
+}
+
+// readSpan performs one group-contained timed read on spindle sp,
+// recording the outcome in the health state machine when mirrored.
+//
+// rt:hotpath
+func (a *Array) readSpan(sp, local, count int, dst []byte) (time.Duration, error) {
+	if !a.mirrored {
+		return a.spindles[sp].ReadInto(0, local, count, dst)
+	}
+	est := a.spindles[sp].PeekServiceTime(0, local, count)
+	t, err := a.spindles[sp].ReadInto(0, local, count, dst)
+	a.observeRead(sp, est, t, err)
+	return t, err
+}
+
+// readSpanContiguous mirrors readSpan for the continuing-transfer path.
+// Contiguous transfers have no seek/rotation baseline, so only errors
+// feed the health machine (est = 0 disables the outlier check).
+func (a *Array) readSpanContiguous(sp, local, count int) ([]byte, time.Duration, error) {
+	if !a.mirrored {
+		return a.spindles[sp].ReadContiguous(0, local, count)
+	}
+	b, t, err := a.spindles[sp].ReadContiguous(0, local, count)
+	a.observeRead(sp, 0, t, err)
+	return b, t, err
+}
+
+// writeSpan duplicates one group-contained timed write onto both twins
+// of the owning pair, charging the slower copy (the twins seek in
+// parallel). A Dead twin is skipped — its contents are reconstructed
+// wholesale by rebuild — and a Rebuilding twin is written through so
+// chunks already copied stay coherent. During a rebalance, a write to
+// the group currently being migrated also lands at the new home, so
+// cylinders copied before the write don't go stale.
+func (a *Array) writeSpan(lba, local int, data []byte) (time.Duration, error) {
+	group := lba / a.groupSec
+	pair, _ := a.homeOf(group)
+	t, err := a.writePair(pair, local, data)
+	if err != nil {
+		return 0, err
+	}
+	if a.repair.kind == repairRebalance && group == a.repair.group {
+		dstPair, dstSlot := group%a.mg, group/a.mg
+		dstLocal := (dstSlot*a.sc)*a.spc + local%(a.sc*a.spc)
+		if _, err := a.writePair(dstPair, dstLocal, data); err != nil {
+			return 0, err
+		}
+	}
+	return t, nil
+}
+
+// writePair writes data at the pair-local address on every writable
+// twin of the pair, returning the slower charge.
+func (a *Array) writePair(pair, local int, data []byte) (time.Duration, error) {
+	var max time.Duration
+	var firstErr error
+	wrote := false
+	for tw := 0; tw < 2; tw++ {
+		sp := 2*pair + tw
+		if a.health[sp].state == Dead {
+			continue
+		}
+		t, err := a.spindles[sp].Write(0, local, data)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		wrote = true
+		if t > max {
+			max = t
+		}
+	}
+	if !wrote {
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		//lint:ignore allocpath double-failure path is cold
+		return 0, fmt.Errorf("disk: mirror pair %d has no writable spindle", pair)
+	}
+	return max, nil
+}
+
+// writeSpanAt is writeSpan for the untimed path.
+func (a *Array) writeSpanAt(lba, local int, data []byte) error {
+	group := lba / a.groupSec
+	pair, _ := a.homeOf(group)
+	if err := a.writePairAt(pair, local, data); err != nil {
+		return err
+	}
+	if a.repair.kind == repairRebalance && group == a.repair.group {
+		dstPair, dstSlot := group%a.mg, group/a.mg
+		dstLocal := (dstSlot*a.sc)*a.spc + local%(a.sc*a.spc)
+		return a.writePairAt(dstPair, dstLocal, data)
+	}
+	return nil
+}
+
+func (a *Array) writePairAt(pair, local int, data []byte) error {
+	var firstErr error
+	wrote := false
+	for tw := 0; tw < 2; tw++ {
+		sp := 2*pair + tw
+		if a.health[sp].state == Dead {
+			continue
+		}
+		if err := a.spindles[sp].WriteAt(local, data); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		wrote = true
+	}
+	if !wrote {
+		if firstErr != nil {
+			return firstErr
+		}
+		return fmt.Errorf("disk: mirror pair %d has no writable spindle", pair)
+	}
+	return nil
+}

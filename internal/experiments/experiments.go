@@ -113,6 +113,7 @@ func All() []Result {
 		FaultTolerance(),
 		Stripe(),
 		QoS(),
+		Rebuild(),
 	}
 }
 
@@ -137,8 +138,9 @@ func ByID(id string) (func() Result, bool) {
 		"reorg":  Reorg,
 		"ic":     IntervalCache,
 		"ft":     FaultTolerance,
-		"stripe": Stripe,
-		"qos":    QoS,
+		"stripe":  Stripe,
+		"qos":     QoS,
+		"rebuild": Rebuild,
 	}
 	f, ok := m[strings.ToLower(id)]
 	return f, ok

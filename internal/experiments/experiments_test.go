@@ -36,7 +36,7 @@ func TestRenderProducesTable(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft", "stripe", "qos"} {
+	for _, id := range []string{"f4", "e1", "e2", "e3", "e46", "nmax", "trans", "edit", "ra", "sil", "hdtv", "ff", "vbr", "scan", "reorg", "ic", "ft", "stripe", "qos", "rebuild"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("experiment %q unknown", id)
 		}
@@ -555,5 +555,50 @@ func TestStripedScaling(t *testing.T) {
 	}
 	if stops := cellInt(t, chaos[7]); stops == 0 {
 		t.Fatal("chaos: all-degraded stream never escalated to a stop")
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mirrored-array simulation sweep")
+	}
+	res := Rebuild()
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	// Columns: phase, n_max/sp, streams, admitted, completed, prem viol,
+	// degraded, stops, chunks.
+	nmax := cellInt(t, res.Rows[0][1])
+	if nmax < 2 {
+		t.Fatalf("per-spindle n_max = %d; geometry too tight", nmax)
+	}
+	healthy, degraded, rebuilt := res.Rows[0], res.Rows[2], res.Rows[4]
+	if got := cellInt(t, healthy[3]); got != 4*nmax {
+		t.Fatalf("healthy array admitted %d, want p·n_max = %d", got, 4*nmax)
+	}
+	if got := cellInt(t, degraded[3]); got != 3*nmax {
+		t.Fatalf("degraded array admitted %d, want (p-1)·n_max = %d", got, 3*nmax)
+	}
+	if got := cellInt(t, rebuilt[3]); got != 4*nmax {
+		t.Fatalf("rebuilt array admitted %d, want p·n_max restored = %d", got, 4*nmax)
+	}
+	service := res.Rows[1]
+	if got := cellInt(t, service[4]); got != 4 {
+		t.Fatalf("only %d/4 streams survived the spindle loss", got)
+	}
+	if got := cellInt(t, service[5]); got != 0 {
+		t.Fatalf("%d premium continuity violations during the loss", got)
+	}
+	if got := cellInt(t, service[6]); got == 0 {
+		t.Fatal("the die scenario never degraded the victim stream")
+	}
+	if got := cellInt(t, service[7]); got != 0 {
+		t.Fatalf("%d streams aborted instead of re-steered", got)
+	}
+	if got := cellInt(t, res.Rows[3][8]); got == 0 {
+		t.Fatal("online rebuild copied no chunks")
+	}
+	if got := cellInt(t, rebuilt[5]); got != 0 {
+		t.Fatalf("post-rebuild replay had %d violations", got)
 	}
 }

@@ -17,11 +17,17 @@ var ErrTransient = errors.New("fault: transient error")
 // always fails. Callers must degrade or replan, never retry.
 var ErrBadSector = errors.New("fault: bad sector")
 
+// ErrDeviceDead is a whole-device failure (Scenario.DieRound): every
+// timed access fails, permanently. Like ErrBadSector it is never worth
+// retrying; unlike it, the mirror layer can re-steer around it.
+var ErrDeviceDead = errors.New("fault: device dead")
+
 // Stats counts injected faults.
 type Stats struct {
 	ReadErrors  uint64
 	WriteErrors uint64
 	BadSectors  uint64
+	DeadErrors  uint64
 	Slowdowns   uint64
 	// SpikeTime is the total extra virtual service time latency spikes
 	// added on top of the base disk's timing model.
@@ -41,6 +47,10 @@ type Disk struct {
 	// forcedFails makes the next n timed reads fail with ErrTransient
 	// regardless of the rates; tests use it to script exact failures.
 	forcedFails int
+	// round counts the caller's virtual service rounds (the MSM calls
+	// AdvanceRound at each round boundary); once it passes
+	// Scenario.DieRound the device is dead.
+	round int
 
 	readErrs, writeErrs *obs.Counter
 	badSectors          *obs.Counter
@@ -69,6 +79,30 @@ func (d *Disk) FaultStats() Stats { return d.stats }
 // script exact fault placements.
 func (d *Disk) FailNextReads(n int) { d.forcedFails = n }
 
+// AdvanceRound advances the virtual round counter driving DieRound
+// scenarios; the MSM calls it once per service round.
+func (d *Disk) AdvanceRound() { d.round++ }
+
+// Dead reports whether a DieRound scenario has killed the device.
+func (d *Disk) Dead() bool { return d.sc.DieRound > 0 && d.round > d.sc.DieRound }
+
+// dieError records and returns the permanent whole-device failure.
+func (d *Disk) dieError(read bool) error {
+	d.stats.DeadErrors++
+	if read {
+		d.stats.ReadErrors++
+		if d.readErrs != nil {
+			d.readErrs.Inc()
+		}
+	} else {
+		d.stats.WriteErrors++
+		if d.writeErrs != nil {
+			d.writeErrs.Inc()
+		}
+	}
+	return ErrDeviceDead
+}
+
 // SetObs mirrors the fault counters into an observability registry.
 func (d *Disk) SetObs(reg *obs.Registry) {
 	d.readErrs = reg.Counter("mmfs_fault_read_errors_total")
@@ -82,6 +116,9 @@ func (d *Disk) SetObs(reg *obs.Registry) {
 // base disk already charged t and moved the head (a real drive spends
 // the positioning time before discovering the error).
 func (d *Disk) injectRead(lba, n int, data []byte, t time.Duration) ([]byte, time.Duration, error) {
+	if d.Dead() {
+		return nil, t, d.dieError(true)
+	}
 	if d.sc.badSector(lba, n) {
 		d.stats.BadSectors++
 		if d.badSectors != nil {
@@ -161,6 +198,9 @@ func (d *Disk) Write(h, lba int, data []byte) (time.Duration, error) {
 	t, err := d.Disk.Write(h, lba, data)
 	if err != nil {
 		return t, err
+	}
+	if d.Dead() {
+		return t, d.dieError(false)
 	}
 	n := (len(data) + d.Geometry().SectorSize - 1) / d.Geometry().SectorSize
 	if d.sc.badSector(lba, n) {

@@ -219,3 +219,62 @@ func TestWriteTransient(t *testing.T) {
 		t.Fatalf("write error count %d", fd.FaultStats().WriteErrors)
 	}
 }
+
+// TestDieRound verifies whole-device death: the device serves normally
+// until the caller's round counter passes DieRound, then every timed
+// access fails permanently with ErrDeviceDead.
+func TestDieRound(t *testing.T) {
+	sc, err := ParseScenario("die=3")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if sc.DieRound != 3 || !sc.Active() {
+		t.Fatalf("die scenario wrong: %+v", sc)
+	}
+	again, err := ParseScenario(sc.String())
+	if err != nil || again.DieRound != 3 {
+		t.Fatalf("round trip %q: %+v, %v", sc.String(), again, err)
+	}
+	fd := New(disk.MustNew(testGeometry()), sc)
+	buf := make([]byte, testGeometry().SectorSize)
+	// Rounds 1..3: alive.
+	for r := 1; r <= 3; r++ {
+		fd.AdvanceRound()
+		if _, err := fd.ReadInto(0, 0, 1, buf); err != nil {
+			t.Fatalf("round %d read: %v", r, err)
+		}
+	}
+	if fd.Dead() {
+		t.Fatal("dead before DieRound passed")
+	}
+	// Round 4 onward: dead, reads and writes alike, forever.
+	fd.AdvanceRound()
+	if !fd.Dead() {
+		t.Fatal("not dead after DieRound passed")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := fd.ReadInto(0, 0, 1, buf); !errors.Is(err, ErrDeviceDead) {
+			t.Fatalf("dead read %d: %v, want ErrDeviceDead", i, err)
+		}
+	}
+	if _, err := fd.Write(0, 0, buf); !errors.Is(err, ErrDeviceDead) {
+		t.Fatalf("dead write: %v, want ErrDeviceDead", err)
+	}
+	if st := fd.FaultStats(); st.DeadErrors != 4 {
+		t.Fatalf("DeadErrors = %d, want 4", st.DeadErrors)
+	}
+	// Untimed metadata access stays alive (the wrapper only kills the
+	// timed data path, like the other scenario knobs).
+	if _, err := fd.ReadAt(0, 1); err != nil {
+		t.Fatalf("untimed read after death: %v", err)
+	}
+}
+
+// TestDieRoundParseErrors rejects non-positive or malformed rounds.
+func TestDieRoundParseErrors(t *testing.T) {
+	for _, spec := range []string{"die=0", "die=-1", "die=", "die=x"} {
+		if _, err := ParseScenario(spec); err == nil {
+			t.Errorf("parse %q: expected error", spec)
+		}
+	}
+}

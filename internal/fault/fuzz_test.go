@@ -17,6 +17,11 @@ func FuzzParseScenario(f *testing.F) {
 		"bad=100+50",
 		"seed=7,readerr=0.05,writeerr=0.01,slow=0.1x4,bad=100+50,bad=900+8",
 		"seed=-1,readerr=1,slow=1x1",
+		"die=12",
+		"seed=3,die=12,readerr=0.1",
+		"die=0",
+		"die=-1",
+		"die=",
 		"readerr=2",
 		"slow=0.5x",
 		"bad=+",

@@ -50,11 +50,19 @@ type Scenario struct {
 	// BadSectors are persistent defects: any timed access overlapping
 	// one fails with ErrBadSector no matter how often it is retried.
 	BadSectors []SectorRange
+	// DieRound, when > 0, kills the whole device after that many
+	// virtual service rounds: once the wrapping caller has advanced
+	// the round counter past DieRound (the MSM calls AdvanceRound at
+	// each round boundary), every timed access fails permanently with
+	// ErrDeviceDead. This is the seeded, replayable whole-spindle loss
+	// the mirrored-array rebuild experiments script.
+	DieRound int
 }
 
 // Active reports whether the scenario injects anything at all.
 func (s Scenario) Active() bool {
-	return s.ReadErrorRate > 0 || s.WriteErrorRate > 0 || s.SlowdownRate > 0 || len(s.BadSectors) > 0
+	return s.ReadErrorRate > 0 || s.WriteErrorRate > 0 || s.SlowdownRate > 0 ||
+		len(s.BadSectors) > 0 || s.DieRound > 0
 }
 
 // Validate reports an error for an unusable scenario.
@@ -82,6 +90,9 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("fault: bad-sector range %d+%d invalid", r.Start, r.Count)
 		}
 	}
+	if s.DieRound < 0 {
+		return fmt.Errorf("fault: die round %d negative", s.DieRound)
+	}
 	return nil
 }
 
@@ -103,6 +114,7 @@ func (s Scenario) badSector(lba, n int) bool {
 //	writeerr=0.01      transient write-error probability
 //	slow=0.05x4        5% of accesses take 4× their service time
 //	bad=100+50         sectors [100,150) persistently fail (repeatable)
+//	die=12             the whole device fails permanently after round 12
 //
 // The empty string, "off", and "none" parse to the inactive zero
 // scenario.
@@ -168,6 +180,12 @@ func ParseScenario(spec string) (Scenario, error) {
 				return Scenario{}, fmt.Errorf("fault: bad count %q", count)
 			}
 			sc.BadSectors = append(sc.BadSectors, SectorRange{Start: lo, Count: n})
+		case "die":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Scenario{}, fmt.Errorf("fault: die round %q, want a round number >= 1", val)
+			}
+			sc.DieRound = n
 		default:
 			return Scenario{}, fmt.Errorf("fault: unknown scenario key %q", key)
 		}
@@ -208,6 +226,9 @@ func (s Scenario) String() string {
 	}
 	for _, r := range s.BadSectors {
 		parts = append(parts, fmt.Sprintf("bad=%d+%d", r.Start, r.Count))
+	}
+	if s.DieRound > 0 {
+		parts = append(parts, fmt.Sprintf("die=%d", s.DieRound))
 	}
 	return strings.Join(parts, ",")
 }

@@ -83,7 +83,11 @@ type lane struct {
 	runFn func()
 	// worked reports whether any request transferred this round.
 	worked bool
-	stats  laneStats
+	// premium reports whether the round's partition assigned the lane
+	// any premium-class stream; the rebuild engine halves its budget on
+	// such lanes (repair yields to the strictest service class).
+	premium bool
+	stats   laneStats
 }
 
 func (ln *lane) now() time.Duration {
@@ -570,13 +574,24 @@ func (ln *lane) serviceRecord(r *request, k int) bool {
 // rt:hotpath
 func (m *Manager) runStripedRound(act []*request) bool {
 	t0 := m.clock.Now()
+	// Re-steer around health changes before partitioning: the steer
+	// table is frozen for the round (lanes read it concurrently), and a
+	// change means some streams now share a surviving twin's sub-round,
+	// which may need a larger k there.
+	if m.array.RefreshSteering() {
+		m.resteerTransition()
+	}
 	serial := m.scratchSerial[:0]
 	for _, ln := range m.lanes {
 		ln.reqs = ln.reqs[:0]
+		ln.premium = false
 	}
 	for _, r := range act {
 		if sp, ok := m.laneSpindle(r); ok {
 			m.lanes[sp].reqs = alloc.Append(m.lanes[sp].reqs, r)
+			if r.class == continuity.Premium {
+				m.lanes[sp].premium = true
+			}
 		} else {
 			serial = alloc.Append(serial, r)
 		}
@@ -645,7 +660,9 @@ func (m *Manager) runStripedRound(act []*request) bool {
 		m.serial.flushStats()
 		m.retrySlack = m.serial.retrySlack
 	}
-	return worked
+	// Online repair rides the leftover slack after every stream has
+	// been serviced (see rebuild.go).
+	return m.repairRound(worked)
 }
 
 // laneSpindle reports the spindle whose lane can service request r this

@@ -98,6 +98,10 @@ type Stats struct {
 	// load-shed sub-sampling; the retained neighbor covers their
 	// display time.
 	ShedBlocks uint64
+	// RebuildBlocks counts repair chunks (one spindle cylinder each)
+	// copied by the online rebuild/rebalance engine, every one charged
+	// against a round's measured slack.
+	RebuildBlocks uint64
 }
 
 // FaultPolicy configures the manager's fault-tolerant service path.
@@ -181,6 +185,17 @@ type Manager struct {
 	qos        QoSPolicy
 	inQoS      bool
 	scratchQoS []*request
+	// advancers are the fault layers wrapping the device(s); RunRound
+	// ticks their virtual round counters so die=<round> scenarios fire
+	// exactly on round boundaries (see rebuild.go).
+	advancers []roundAdvancer
+	// kTarget, when above k, grows the blocks-per-round by one per
+	// round — the §3.4 stepwise transition applied to a re-steer: a
+	// dead spindle's streams absorbed by the surviving twin can push
+	// that spindle's population past what the current k sustains.
+	kTarget int
+	// rb drives the online rebuild/rebalance engine (see rebuild.go).
+	rb repairCtl
 }
 
 // New creates a manager over the disk with the given admission
@@ -202,6 +217,8 @@ func New(d disk.Device, adm continuity.Admission) *Manager {
 			m.lanes = append(m.lanes, ln)
 		}
 	}
+	m.rb.rate = DefaultRebuildRate
+	m.probeAdvancers()
 	return m
 }
 
@@ -686,9 +703,21 @@ func (m *Manager) active() []*request {
 func (m *Manager) RunRound() bool {
 	m.processDemotions()
 	m.classPass()
+	m.tickFaultRounds()
+	if m.kTarget > m.k {
+		// One step of a re-steer k transition (see resteerTransition):
+		// the same one-k-per-round growth the paper's admission
+		// transition uses, so continuity holds while the absorbed
+		// population's rounds lengthen.
+		m.k++
+		m.stats.TransitionSteps++
+		if m.obs != nil {
+			m.obs.transitions.Inc()
+		}
+	}
 	act := m.active()
 	if len(act) == 0 {
-		return false
+		return m.runRepairOnlyRound()
 	}
 	m.stats.Rounds++
 	// Refill the retry budget: the slack Eq. 18's worst-case charging
@@ -924,9 +953,12 @@ func (m *Manager) scanSort(act []*request) {
 }
 
 // isFault reports whether a read error came from the fault-injection
-// layer (retryable or degradable) rather than a broken plan.
+// layer (retryable or degradable) rather than a broken plan. A dead
+// device is degradable but — like a bad sector — never retried; the
+// mirror layer re-steers the next round's reads to the twin.
 func isFault(err error) bool {
-	return errors.Is(err, fault.ErrTransient) || errors.Is(err, fault.ErrBadSector)
+	return errors.Is(err, fault.ErrTransient) || errors.Is(err, fault.ErrBadSector) ||
+		errors.Is(err, fault.ErrDeviceDead)
 }
 
 // deadline is the display start time of plan block j.

@@ -42,11 +42,20 @@ type roundObs struct {
 	shedBlocks     *obs.Counter
 	effRate        *obs.Histogram
 
+	// Mirror resilience: per-spindle health gauges (values are the
+	// disk.SpindleState enum; registered only over a mirrored array),
+	// the rebuild/rebalance progress gauge in permille (gauges are
+	// integers), and the copied repair-chunk counter.
+	spindleState  []*obs.Gauge
+	rebuildRatio  *obs.Gauge
+	rebuildBlocks *obs.Counter
+
 	// last* are the cumulative values already attributed to recorded
 	// rounds.
 	lastBlocks, lastWritten  uint64
 	lastHits, lastViol       uint64
 	lastRetries, lastDegrade uint64
+	lastRebuild              uint64
 	lastBusy                 time.Duration
 }
 
@@ -78,6 +87,14 @@ func (m *Manager) SetObs(reg *obs.Registry, ring *obs.TraceRing) {
 		retrySlackGauge:  reg.Gauge("mmfs_retry_slack_ns"),
 		shedBlocks:       reg.Counter("mmfs_qos_shed_blocks_total"),
 		effRate:          reg.Histogram("mmfs_qos_effective_rate_units", qosRateBuckets()),
+		rebuildRatio:     reg.Gauge("mmfs_rebuild_done_permille"),
+		rebuildBlocks:    reg.Counter("mmfs_rebuild_blocks_total"),
+	}
+	if m.array != nil && m.array.Mirrored() {
+		for i := 0; i < m.array.Spindles(); i++ {
+			o.spindleState = append(o.spindleState,
+				reg.Gauge(fmt.Sprintf("mmfs_spindle_state{spindle=%q}", fmt.Sprint(i))))
+		}
 	}
 	for c := 0; c < continuity.NumClasses; c++ {
 		label := continuity.Class(c).String()
@@ -91,6 +108,7 @@ func (m *Manager) SetObs(reg *obs.Registry, ring *obs.TraceRing) {
 	o.lastBlocks, o.lastWritten = m.stats.BlocksFetched, m.stats.BlocksWritten
 	o.lastHits, o.lastViol = m.stats.CacheHits, m.stats.Violations
 	o.lastRetries, o.lastDegrade = m.stats.Retries, m.stats.DegradedBlocks
+	o.lastRebuild = m.stats.RebuildBlocks
 	o.lastBusy = m.d.Stats().BusyTime()
 	o.kGauge.Set(int64(m.k))
 	m.obs = o
@@ -120,6 +138,7 @@ func (m *Manager) recordRound(start time.Duration, kAtStart, active, cacheServed
 		Retries:       m.stats.Retries - o.lastRetries,
 		Degraded:      m.stats.DegradedBlocks - o.lastDegrade,
 		RetrySlackNs:  int64(m.retrySlack),
+		RebuildBlocks: m.stats.RebuildBlocks - o.lastRebuild,
 	}
 	o.rounds.Inc()
 	o.blocks.Add(tr.BlocksRead)
@@ -147,9 +166,20 @@ func (m *Manager) recordRound(start time.Duration, kAtStart, active, cacheServed
 			o.classDegraded[c].Set(deg[c])
 		}
 	}
+	for i, g := range o.spindleState {
+		g.Set(int64(m.array.SpindleState(i)))
+	}
+	if o.rebuildRatio != nil {
+		if done, total := m.RepairProgress(); total > 0 {
+			o.rebuildRatio.Set(int64(done) * 1000 / int64(total))
+		} else {
+			o.rebuildRatio.Set(0)
+		}
+	}
 	o.lastBlocks, o.lastWritten = m.stats.BlocksFetched, m.stats.BlocksWritten
 	o.lastHits, o.lastViol = m.stats.CacheHits, m.stats.Violations
 	o.lastRetries, o.lastDegrade = m.stats.Retries, m.stats.DegradedBlocks
+	o.lastRebuild = m.stats.RebuildBlocks
 	o.lastBusy = busy
 	if o.ring != nil {
 		o.ring.Append(tr)

@@ -1,0 +1,317 @@
+package msm
+
+import (
+	"testing"
+
+	"mmfs/internal/alloc"
+	"mmfs/internal/continuity"
+	"mmfs/internal/disk"
+	"mmfs/internal/fault"
+	"mmfs/internal/layout"
+	"mmfs/internal/media"
+	"mmfs/internal/strand"
+)
+
+// mirroredRig bundles the substrate for mirrored-array manager tests:
+// p spindles in p/2 mirror pairs behind one disk.Array, with the
+// allocator and strand store working in the (halved) logical address
+// space.
+type mirroredRig struct {
+	raw []*disk.Disk // physical spindles (under any fault wrapper)
+	arr *disk.Array
+	a   *alloc.Allocator
+	st  *strand.Store
+	m   *Manager
+	dev continuity.Device
+	p   int
+	sc  int // stripe cylinders
+}
+
+// newMirroredRig builds a p-spindle mirrored array with the given
+// stripe. When faultSpindle ≥ 0 and the scenario is active, that one
+// spindle is wrapped in fault injection.
+func newMirroredRig(t *testing.T, p, stripe, faultSpindle int, sc fault.Scenario) *mirroredRig {
+	t.Helper()
+	g := disk.DefaultGeometry()
+	devs := make([]disk.Device, p)
+	raw := make([]*disk.Disk, p)
+	for i := range devs {
+		raw[i] = disk.MustNew(g)
+		if i == faultSpindle && sc.Active() {
+			devs[i] = fault.New(raw[i], sc)
+		} else {
+			devs[i] = raw[i]
+		}
+	}
+	arr := disk.MustNewMirroredArray(devs, stripe)
+	a, err := alloc.New(arr.Geometry(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := arr.Geometry()
+	dev := continuity.Device{
+		TransferRate: lg.TransferRateBits(),
+		MaxAccess:    continuity.Seconds(lg.MaxAccessTime()),
+		MinAccess:    continuity.Seconds(lg.MinAccessTime()),
+	}
+	return &mirroredRig{
+		raw: raw, arr: arr, a: a,
+		st:  strand.NewStore(arr, a),
+		m:   New(arr, continuity.AdmissionFor(dev)),
+		dev: dev, p: p, sc: stripe,
+	}
+}
+
+func (r *mirroredRig) scattering() float64 {
+	return continuity.Seconds(r.arr.Geometry().AccessTime(targetCylinders))
+}
+
+// recordPreferring writes a synthetic video strand whose blocks the
+// balanced steering reads from exactly the given spindle: the strand
+// is placed in stripe-group slot (spindle%2 + 2*within) of mirror pair
+// spindle/2, and slot parity decides the preferred twin. The data
+// itself lands on both twins of the pair.
+func (r *mirroredRig) recordPreferring(t *testing.T, spindle, within, frames int, seed int64) *strand.Strand {
+	t.Helper()
+	mg := r.arr.MirrorGroups()
+	pair, slot := spindle/2, spindle%2+2*within
+	group := slot*mg + pair
+	w, err := strand.NewWriter(r.arr, r.a, strand.WriterConfig{
+		ID:            r.st.NewID(),
+		Medium:        layout.Video,
+		Rate:          30,
+		UnitBytes:     18000,
+		Granularity:   3,
+		Constraint:    alloc.Constraint{MinCylinders: 1, MaxCylinders: targetCylinders},
+		StartCylinder: group * r.sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := media.NewVideoSource(frames, 18000, 30, seed)
+	for {
+		u, ok := src.Next()
+		if !ok {
+			break
+		}
+		if _, err := w.Append(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.st.Put(s)
+	for i := 0; i < s.NumBlocks(); i++ {
+		e, err := s.Block(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp, one := r.arr.SpindleRange(int(e.Sector), int(e.SectorCount)); !one || sp != spindle {
+			t.Fatalf("strand block %d steered to spindle %d (one=%v), want %d", i, sp, one, spindle)
+		}
+	}
+	return s
+}
+
+func (r *mirroredRig) play(t *testing.T, s *strand.Strand, buffers int) RequestID {
+	t.Helper()
+	plan, err := PlanStrandPlay(r.arr, s, PlanOptions{ReadAhead: 1, Buffers: buffers, Scattering: r.scattering()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := r.m.AdmitPlay(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestMirroredDegradedService kills one twin mid-run (a scripted
+// die=<round> scenario) while all four spindles carry streams. The
+// victim spindle's stream must be absorbed by the surviving twin — a
+// bounded burst of degraded blocks while the health machine converges,
+// then clean service — and every stream must run to completion with no
+// fault stop. Streams on the untouched pair must not be disturbed at
+// all. The parallel lanes make this the degraded-mode race test: run
+// with -race it also proves the health/steering single-owner
+// discipline.
+func TestMirroredDegradedService(t *testing.T) {
+	const p, stripe, victim = 4, 120, 1
+	rig := newMirroredRig(t, p, stripe, victim, fault.Scenario{Seed: 7, DieRound: 6})
+
+	// One stream preferring each spindle; the victim's twin (spindle 0)
+	// will carry two streams after the re-steer.
+	ids := make([]RequestID, p)
+	strandsOf := make([]*strand.Strand, p)
+	for sp := 0; sp < p; sp++ {
+		strandsOf[sp] = rig.recordPreferring(t, sp, 0, 150, int64(9300+sp))
+	}
+	for sp := 0; sp < p; sp++ {
+		ids[sp] = rig.play(t, strandsOf[sp], 64)
+	}
+	rig.m.RunUntilDone()
+
+	for sp, id := range ids {
+		pr, err := rig.m.Progress(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pr.Done || pr.BlocksServed != pr.BlocksTotal {
+			t.Fatalf("spindle %d's stream incomplete: %d/%d done=%v",
+				sp, pr.BlocksServed, pr.BlocksTotal, pr.Done)
+		}
+		if sp == victim {
+			// The death round degrades at most the in-flight k-window,
+			// and the health thresholds take a few more failed reads to
+			// trip; after the re-steer the twin serves it cleanly.
+			if pr.DegradedBlocks == 0 {
+				t.Fatalf("victim stream saw no degradation — die scenario never fired: %+v", pr)
+			}
+			if pr.DegradedBlocks > 2*deadAfterErrsBudget {
+				t.Fatalf("victim stream degraded %d blocks; re-steer never took over", pr.DegradedBlocks)
+			}
+			if pr.Violations != pr.DegradedBlocks {
+				t.Fatalf("victim stream: %d violations beyond its %d degraded deliveries",
+					pr.Violations, pr.DegradedBlocks)
+			}
+			continue
+		}
+		if pr.Violations != 0 || pr.DegradedBlocks != 0 {
+			t.Fatalf("spindle %d's stream disturbed by the victim: %d violations, %d degraded",
+				sp, pr.Violations, pr.DegradedBlocks)
+		}
+	}
+	st := rig.m.Stats()
+	if st.FaultStops != 0 {
+		t.Fatalf("a stream was aborted instead of re-steered: %+v", st)
+	}
+	if s := rig.arr.SpindleState(victim); s == disk.Healthy {
+		t.Fatalf("victim spindle still Healthy after dying: %v", s)
+	}
+	// The survivor absorbed the victim's reads on top of its own.
+	if rig.raw[0].Stats().SectorsRead <= rig.raw[2].Stats().SectorsRead {
+		t.Fatalf("surviving twin read %d sectors, untouched spindle read %d; no absorption visible",
+			rig.raw[0].Stats().SectorsRead, rig.raw[2].Stats().SectorsRead)
+	}
+}
+
+// deadAfterErrsBudget mirrors the disk package's deadAfterErrs
+// threshold for the degraded-burst bound above (the victim stream can
+// degrade one k-window per round while the strikes accumulate).
+const deadAfterErrsBudget = 8
+
+// TestMirroredRebuildRestoresService kills a twin, replaces it, runs
+// the online rebuild to completion in otherwise idle rounds, and
+// verifies the rebuilt spindle serves a replay cleanly — including the
+// blocks only it would be steered to.
+func TestMirroredRebuildRestoresService(t *testing.T) {
+	const p, stripe, victim = 4, 120, 1
+	rig := newMirroredRig(t, p, stripe, victim, fault.Scenario{Seed: 7, DieRound: 3})
+
+	s := rig.recordPreferring(t, victim, 0, 150, 9400)
+	id := rig.play(t, s, 64)
+	rig.m.RunUntilDone()
+	if pr, _ := rig.m.Progress(id); !pr.Done {
+		t.Fatalf("pre-rebuild play incomplete: %+v", pr)
+	}
+
+	// Replace the dead device and rebuild it from the twin.
+	if err := rig.m.Rebuild(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !rig.m.RepairActive() {
+		t.Fatal("rebuild did not start")
+	}
+	rig.m.RunUntilDone() // repair-only rounds drive the copy
+	if rig.m.RepairActive() {
+		done, total := rig.m.RepairProgress()
+		t.Fatalf("rebuild stalled at %d/%d", done, total)
+	}
+	if got := rig.arr.SpindleState(victim); got != disk.Healthy {
+		t.Fatalf("rebuilt spindle state = %v, want healthy", got)
+	}
+	if rig.m.Stats().RebuildBlocks == 0 {
+		t.Fatal("no rebuild chunks were charged to rounds")
+	}
+
+	// The replacement device must now serve the replay's steered share.
+	rig.arr.RefreshSteering()
+	id2 := rig.play(t, s, 64)
+	rig.m.RunUntilDone()
+	pr, err := rig.m.Progress(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Done || pr.Violations != 0 || pr.DegradedBlocks != 0 {
+		t.Fatalf("post-rebuild replay: done=%v violations=%d degraded=%d",
+			pr.Done, pr.Violations, pr.DegradedBlocks)
+	}
+}
+
+// TestMirroredHotAddRebalance doubles a 2-spindle mirrored array to 4
+// spindles online, rebalances, and verifies (a) existing data replays
+// violation-free afterwards and (b) the new pair actually serves part
+// of it — the ROADMAP's hot-add rebalance, driven through the manager.
+func TestMirroredHotAddRebalance(t *testing.T) {
+	const stripe = 60
+	rig := newMirroredRig(t, 2, stripe, -1, fault.Scenario{})
+
+	// Two strands in adjacent slots: after doubling, odd groups move to
+	// the new pair.
+	s0 := rig.recordPreferring(t, 0, 0, 150, 9500)
+	s1 := rig.recordPreferring(t, 1, 0, 150, 9501)
+	id0, id1 := rig.play(t, s0, 64), rig.play(t, s1, 64)
+	rig.m.RunUntilDone()
+	for _, id := range []RequestID{id0, id1} {
+		if pr, _ := rig.m.Progress(id); !pr.Done || pr.Violations != 0 {
+			t.Fatalf("pre-rebalance play: %+v", pr)
+		}
+	}
+
+	g := disk.DefaultGeometry()
+	if err := rig.m.AddMirrorPair(disk.MustNew(g), disk.MustNew(g)); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.m.StripeSpindles(); got != 4 {
+		t.Fatalf("lanes did not grow with the array: StripeSpindles = %d", got)
+	}
+	if err := rig.m.StartRebalance(); err != nil {
+		t.Fatal(err)
+	}
+	rig.m.RunUntilDone()
+	if rig.m.RepairActive() {
+		done, total := rig.m.RepairProgress()
+		t.Fatalf("rebalance stalled at %d/%d", done, total)
+	}
+
+	// Replays must be clean, and the hot-added pair must carry its
+	// remapped share of the groups.
+	id0, id1 = rig.play(t, s0, 64), rig.play(t, s1, 64)
+	rig.m.RunUntilDone()
+	for _, id := range []RequestID{id0, id1} {
+		pr, err := rig.m.Progress(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pr.Done || pr.Violations != 0 || pr.DegradedBlocks != 0 {
+			t.Fatalf("post-rebalance replay: %+v", pr)
+		}
+	}
+	if rig.raw[0].Stats().SectorsRead == 0 {
+		t.Fatal("original pair served nothing after the rebalance")
+	}
+	if got := rig.m.Stats().RebuildBlocks; got == 0 {
+		t.Fatal("rebalance copied no chunks")
+	}
+	newReads := false
+	for sp := 2; sp < 4; sp++ {
+		if rig.arr.Spindle(sp).Stats().SectorsRead > 0 {
+			newReads = true
+		}
+	}
+	if !newReads {
+		t.Fatal("hot-added pair served no reads after the rebalance")
+	}
+}

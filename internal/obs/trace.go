@@ -42,6 +42,10 @@ type RoundTrace struct {
 	// RetrySlackNs is the retry budget left when the round ended:
 	// Eq. 18's measured slack minus the retries' service time.
 	RetrySlackNs int64 `json:"retry_slack_ns"`
+	// RebuildBlocks is the number of repair chunks the online
+	// rebuild/rebalance engine copied during the round, charged against
+	// the leftover slack above.
+	RebuildBlocks uint64 `json:"rebuild_blocks,omitempty"`
 }
 
 // DefaultTraceRounds is the default trace ring capacity: enough to

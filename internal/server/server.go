@@ -318,6 +318,9 @@ func (s *Server) handle(op wire.Op, body []byte) []byte {
 		err = s.flatten(d, e)
 	case wire.OpMetrics:
 		err = s.metrics(d, e)
+	case wire.OpRebuild:
+		//lint:ignore blockinglock the rebuild runs the virtual clock to completion under s.mu, like recordFinish and play
+		err = s.rebuild(d, e)
 	default:
 		s.errCount.Inc()
 		return wire.ErrResponse(fmt.Errorf("server: unknown op %v", op))
@@ -744,6 +747,40 @@ func (s *Server) stats(d *wire.Decoder, e *wire.Encoder) error {
 		e.U32(uint32(qs[c].Active)).U32(uint32(qs[c].Degraded)).F64(qs[c].EffectiveRate)
 	}
 	e.U64(st.Promotions).U64(st.LoadDemotions).U64(st.ShedBlocks)
+	// Mirror-resilience section: per-spindle health over a mirrored
+	// array (spindle count 0 when mirroring is off, so the section stays
+	// fixed-shape), the running repair's chunk cursor, and the lifetime
+	// repair-chunk count.
+	arr := s.fs.Array()
+	if arr != nil && arr.Mirrored() {
+		e.U32(uint32(arr.Spindles()))
+		for i := 0; i < arr.Spindles(); i++ {
+			e.U16(uint16(arr.SpindleState(i)))
+		}
+	} else {
+		e.U32(0)
+	}
+	done, total := mgr.RepairProgress()
+	e.U32(uint32(done)).U32(uint32(total)).U64(st.RebuildBlocks)
+	return nil
+}
+
+// rebuild replaces a failed spindle of a mirrored array with a fresh
+// device and drives the online rebuild to completion under the virtual
+// clock, returning the spindle's final state and the lifetime repair-
+// chunk count. The caller must hold s.mu.
+func (s *Server) rebuild(d *wire.Decoder, e *wire.Encoder) error {
+	spindle := int(d.U32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	mgr := s.fs.Manager()
+	if err := mgr.Rebuild(spindle); err != nil {
+		return err
+	}
+	mgr.RunUntilDone()
+	arr := s.fs.Array()
+	e.Str(arr.SpindleState(spindle).String()).U64(mgr.Stats().RebuildBlocks)
 	return nil
 }
 

@@ -43,6 +43,7 @@ const (
 	OpTriggers
 	OpFlatten
 	OpMetrics
+	OpRebuild
 )
 
 // String names the op.
@@ -94,6 +95,8 @@ func (o Op) String() string {
 		return "Flatten"
 	case OpMetrics:
 		return "Metrics"
+	case OpRebuild:
+		return "Rebuild"
 	}
 	return fmt.Sprintf("Op(%d)", uint16(o))
 }
